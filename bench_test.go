@@ -1,0 +1,457 @@
+// Benchmarks regenerating every figure and quantitative claim of the
+// paper (experiment ids from DESIGN.md). Each BenchmarkE* pairs with
+// the same-named experiment in internal/harness; `charles-bench`
+// prints the tables, these measure the steady-state cost. Engine
+// micro-benchmarks at the bottom isolate the two back-end operations
+// Section 5.1 identifies: medians and counts over predicates.
+package charles_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"charles"
+	"charles/internal/baseline"
+	"charles/internal/core"
+	"charles/internal/dataset"
+	"charles/internal/engine"
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+// memoTable caches generated tables across benchmarks in one run.
+var (
+	memoMu     sync.Mutex
+	memoTables = map[string]*engine.Table{}
+)
+
+func table(b *testing.B, name string, n int, seed int64) *engine.Table {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d", name, n, seed)
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	if t, ok := memoTables[key]; ok {
+		return t
+	}
+	t, err := dataset.Named(name, n, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	memoTables[key] = t
+	return t
+}
+
+func contextOn(b *testing.B, tab *engine.Table, cols ...string) sdl.Query {
+	b.Helper()
+	q, err := sdl.ContextOn(tab, cols...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkE1Fig1EndToEnd measures the full Figure 1 advisory
+// round: parse-free context over the VOC table, HB-cuts, ranking.
+func BenchmarkE1Fig1EndToEnd(b *testing.B) {
+	tab := table(b, "voc", 20000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := seg.NewEvaluator(tab)
+		if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Primitives measures the three Section 4.1 operators in
+// isolation on a 10k-row variant of the Figure 2 table.
+func BenchmarkE2Primitives(b *testing.B) {
+	tab := table(b, "voc", 10000, 2)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "departure_date")
+	prep := func(b *testing.B) (*seg.Evaluator, *seg.Segmentation, *seg.Segmentation) {
+		ev := seg.NewEvaluator(tab)
+		a, ok, err := seg.InitialCut(ev, ctx, "type_of_boat", seg.DefaultCutOptions())
+		if err != nil || !ok {
+			b.Fatal(err)
+		}
+		d, ok, err := seg.InitialCut(ev, ctx, "departure_date", seg.DefaultCutOptions())
+		if err != nil || !ok {
+			b.Fatal(err)
+		}
+		return ev, a, d
+	}
+	b.Run("Cut", func(b *testing.B) {
+		ev, a, _ := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Cut(ev, a, "tonnage", seg.DefaultCutOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Compose", func(b *testing.B) {
+		ev, a, d := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Compose(ev, a, d, seg.DefaultCutOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Product", func(b *testing.B) {
+		ev, a, d := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Product(ev, a, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Indep", func(b *testing.B) {
+		ev, a, d := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Indep(ev, a, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3HBCutsFiveAttrs measures the Figure 3 execution.
+func BenchmarkE3HBCutsFiveAttrs(b *testing.B) {
+	tab := table(b, "figure3", 20000, 1)
+	ctx := sdl.ContextAll(tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := seg.NewEvaluator(tab)
+		if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4StoppingSweep measures the cost of each stopping
+// configuration of Figure 4.
+func BenchmarkE4StoppingSweep(b *testing.B) {
+	tab := table(b, "voc", 20000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	for _, maxIndep := range []float64{0.90, 0.99} {
+		for _, maxDepth := range []int{8, 16} {
+			name := fmt.Sprintf("indep=%.2f/depth=%d", maxIndep, maxDepth)
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.MaxIndep = maxIndep
+				cfg.MaxDepth = maxDepth
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := seg.NewEvaluator(tab)
+					if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE5Independence measures the Proposition 1 INDEP check at
+// two dependence levels.
+func BenchmarkE5Independence(b *testing.B) {
+	for _, rho := range []float64{0, 0.95} {
+		b.Run(fmt.Sprintf("rho=%.2f", rho), func(b *testing.B) {
+			tab := dataset.CorrelatedPair(50000, rho, 1)
+			ev := seg.NewEvaluator(tab)
+			ctx := sdl.ContextAll(tab)
+			sx, _, err := seg.InitialCut(ev, ctx, "x", seg.DefaultCutOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sy, _, err := seg.InitialCut(ev, ctx, "y", seg.DefaultCutOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := seg.Indep(ev, sx, sy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Horizontal measures advise time versus attribute count
+// on the all-dependent chain workload.
+func BenchmarkE6Horizontal(b *testing.B) {
+	for _, attrs := range []int{2, 4, 8, 12} {
+		b.Run(fmt.Sprintf("attrs=%d", attrs), func(b *testing.B) {
+			tab := dataset.Chain(20000, attrs, 150, 1)
+			ctx := sdl.ContextAll(tab)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Vertical measures advise time versus row count.
+func BenchmarkE7Vertical(b *testing.B) {
+	for _, rows := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			tab := table(b, "voc", rows, 1)
+			ctx := contextOn(b, tab, "type_of_boat", "tonnage", "departure_harbour", "trip")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7ColumnVsRow isolates the Section 5.1 claim: the two
+// back-end operations on a column store versus a row store.
+func BenchmarkE7ColumnVsRow(b *testing.B) {
+	tab := table(b, "voc", 100000, 1)
+	ton := tab.MustColumn("tonnage").(*engine.IntColumn)
+	all := tab.All()
+	r := engine.IntRange{Lo: 200, Hi: 600, LoIncl: true, HiIncl: true}
+	rt := engine.NewRowTable(tab)
+	tonIdx := rt.ColumnIndex("tonnage")
+	b.Run("CountColumn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.FilterIntRange(ton, all, r)
+		}
+	})
+	b.Run("CountRow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rt.CountIntRange(tonIdx, r)
+		}
+	})
+	b.Run("MedianColumn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := engine.IntMedian(ton, all); !ok {
+				b.Fatal("median failed")
+			}
+		}
+	})
+	b.Run("MedianRow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rt.MedianInt(tonIdx); !ok {
+				b.Fatal("median failed")
+			}
+		}
+	})
+}
+
+// BenchmarkE8Sampling measures the Section 5.2 sampled-median
+// strategy.
+func BenchmarkE8Sampling(b *testing.B) {
+	tab := table(b, "voc", 200000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "trip")
+	for _, sample := range []int{0, 16384, 1024} {
+		name := "exact"
+		if sample > 0 {
+			name = fmt.Sprintf("sample=%d", sample)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Cut.SampleSize = sample
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9Baselines measures each Section 6 comparator on the
+// same context.
+func BenchmarkE9Baselines(b *testing.B) {
+	tab := table(b, "voc", 20000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "departure_harbour", "trip")
+	b.Run("HBCuts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			if _, err := core.AdaptiveCuts(ev, ctx, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RandomComposition", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Pairing = core.PairRandom
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Facets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			if _, err := baseline.Facets(ev, ctx, 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CLIQUE", func(b *testing.B) {
+		attrs := []string{"type_of_boat", "tonnage", "departure_harbour", "trip"}
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Clique(tab, tab.All(), attrs, baseline.DefaultCliqueConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("KMeans", func(b *testing.B) {
+		gm := table(b, "gaussian", 20000, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.KMeans(gm, gm.All(), []string{"x0", "x1"}, 8, 50, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Quantiles measures cut cost versus arity.
+func BenchmarkE10Quantiles(b *testing.B) {
+	tab := table(b, "gaussian", 100000, 1)
+	ctx := contextOn(b, tab, "x0")
+	for _, arity := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("arity=%d", arity), func(b *testing.B) {
+			opt := seg.DefaultCutOptions()
+			opt.Arity = arity
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, ok, err := seg.InitialCut(ev, ctx, "x0", opt); err != nil || !ok {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11Lazy compares eager total cost against time-to-first-
+// answer of the lazy stream.
+func BenchmarkE11Lazy(b *testing.B) {
+	tab := table(b, "voc", 50000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	b.Run("EagerAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			if _, err := core.HBCuts(ev, ctx, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LazyFirstAnswer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := seg.NewEvaluator(tab)
+			st, err := core.NewStream(ev, ctx, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok, err := st.Next(); err != nil || !ok {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- engine micro-benchmarks: the two Section 5.1 operations ---
+
+func BenchmarkEngineFilterIntRange(b *testing.B) {
+	tab := table(b, "voc", 100000, 1)
+	ton := tab.MustColumn("tonnage").(*engine.IntColumn)
+	all := tab.All()
+	r := engine.IntRange{Lo: 200, Hi: 600, LoIncl: true, HiIncl: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = engine.FilterIntRange(ton, all, r)
+	}
+}
+
+func BenchmarkEngineMedianInt(b *testing.B) {
+	tab := table(b, "voc", 100000, 1)
+	ton := tab.MustColumn("tonnage").(*engine.IntColumn)
+	all := tab.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := engine.IntMedian(ton, all); !ok {
+			b.Fatal("median failed")
+		}
+	}
+}
+
+func BenchmarkEngineIntersectCount(b *testing.B) {
+	n := 200000
+	a := make(engine.Selection, 0, n/2)
+	c := make(engine.Selection, 0, n/3)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a = append(a, int32(i))
+		}
+		if i%3 == 0 {
+			c = append(c, int32(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = engine.IntersectCount(a, c)
+	}
+}
+
+func BenchmarkEngineStringFilter(b *testing.B) {
+	tab := table(b, "voc", 100000, 1)
+	col := tab.MustColumn("type_of_boat").(*engine.StringColumn)
+	all := tab.All()
+	want := []string{"fluit", "jacht"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = engine.FilterStringSet(col, all, want)
+	}
+}
+
+func BenchmarkSDLParse(b *testing.B) {
+	input := "(date: [1550-01-01, 1650-12-31], tonnage: [1000, 5000), type: {'jacht', 'fluit', pinas})"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdl.Parse(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdvisorFacade(b *testing.B) {
+	tab := charles.GenerateVOC(10000, 1)
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adv.AdviseString("(type_of_boat:, tonnage:)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

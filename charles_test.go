@@ -1,0 +1,252 @@
+package charles
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAdvisorEndToEndVOC(t *testing.T) {
+	tab := GenerateVOC(5000, 1)
+	adv := NewAdvisor(tab, DefaultConfig())
+	res, err := adv.AdviseString("(type_of_boat:, tonnage:, departure_harbour:, trip:)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segmentations) < 4 {
+		t.Fatalf("answers = %d, want at least the 4 initial cuts", len(res.Segmentations))
+	}
+	// The planted type↔tonnage dependence must produce at least one
+	// multi-attribute segmentation (the Figure 1 story).
+	multi := false
+	for _, s := range res.Segmentations {
+		if len(s.Seg.CutAttrs) >= 2 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("no composed segmentation on VOC data")
+	}
+	out := RenderRanked(res, 3)
+	if !strings.Contains(out, "#1") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestAdvisorEmptyContextMeansAllColumns(t *testing.T) {
+	tab := GenerateVOC(1000, 2)
+	adv := NewAdvisor(tab, DefaultConfig())
+	q, err := adv.ParseContext("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Attrs()) != tab.NumCols() {
+		t.Fatalf("attrs = %d, want %d", len(q.Attrs()), tab.NumCols())
+	}
+}
+
+func TestAdvisorParseErrorsSurface(t *testing.T) {
+	tab := GenerateVOC(100, 3)
+	adv := NewAdvisor(tab, DefaultConfig())
+	if _, err := adv.AdviseString("(((("); err == nil {
+		t.Fatal("parse error swallowed")
+	}
+	if _, err := adv.AdviseString("(ghost_column:)"); err == nil {
+		t.Fatal("bind error swallowed")
+	}
+}
+
+func TestAdvisorZoomLoop(t *testing.T) {
+	tab := GenerateVOC(3000, 4)
+	adv := NewAdvisor(tab, DefaultConfig())
+	ctx, err := ContextOn(tab, "type_of_boat", "tonnage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adv.Advise(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := adv.Zoom(res, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := adv.Count(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= tab.NumRows() {
+		t.Fatalf("zoomed extent = %d", n)
+	}
+	// Zooming yields a valid next context.
+	res2, err := adv.Advise(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Segmentations) == 0 {
+		t.Fatal("zoomed context produced no answers")
+	}
+}
+
+func TestAdvisorZoomRangeErrors(t *testing.T) {
+	tab := GenerateVOC(500, 5)
+	adv := NewAdvisor(tab, DefaultConfig())
+	res, err := adv.AdviseString("(tonnage:, type_of_boat:)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re *RangeError
+	if _, err := adv.Zoom(res, 99, 0); !errors.As(err, &re) || re.What != "answer" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := adv.Zoom(res, 0, 99); !errors.As(err, &re) || re.What != "segment" {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(re.Error(), "out of range") {
+		t.Fatalf("message = %q", re.Error())
+	}
+}
+
+func TestAdvisorStreamAndAdaptive(t *testing.T) {
+	tab := GenerateVOC(2000, 6)
+	adv := NewAdvisor(tab, DefaultConfig())
+	ctx, err := ContextOn(tab, "type_of_boat", "tonnage", "trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := adv.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok, err := st.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if first.Seg.Depth() < 2 {
+		t.Fatal("first streamed answer degenerate")
+	}
+	ad, err := adv.Adaptive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad) == 0 {
+		t.Fatal("no adaptive answers")
+	}
+}
+
+func TestAdvisorFacets(t *testing.T) {
+	tab := GenerateVOC(2000, 7)
+	adv := NewAdvisor(tab, DefaultConfig())
+	ctx, err := ContextOn(tab, "type_of_boat", "tonnage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets, err := adv.Facets(ctx, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 2 {
+		t.Fatalf("facets = %d", len(facets))
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	tab := GenerateVOC(200, 8)
+	dir := t.TempDir()
+	path := dir + "/voyages.csv"
+	if err := WriteCSV(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 200 || back.NumCols() != tab.NumCols() {
+		t.Fatalf("shape = %d x %d", back.NumRows(), back.NumCols())
+	}
+	// Advising on the loaded table works identically.
+	adv := NewAdvisor(back, DefaultConfig())
+	if _, err := adv.AdviseString("(type_of_boat:, tonnage:)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSQLHelpers(t *testing.T) {
+	tab := GenerateVOC(100, 9)
+	q, err := ParseQuery("(tonnage: [100, 400])", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SQLWhere(q); got != "tonnage >= 100 AND tonnage <= 400" {
+		t.Fatalf("where = %q", got)
+	}
+	if got := SQLSelect(q, "voyages"); !strings.HasPrefix(got, "SELECT * FROM voyages WHERE") {
+		t.Fatalf("select = %q", got)
+	}
+}
+
+func TestGenerateDatasetDispatch(t *testing.T) {
+	for _, name := range []string{"voc", "sky", "weblog", "gaussian", "uniform", "figure3"} {
+		tab, err := GenerateDataset(name, 30, 1)
+		if err != nil || tab.NumRows() != 30 {
+			t.Fatalf("GenerateDataset(%s): %v", name, err)
+		}
+	}
+	if _, err := GenerateDataset("bogus", 10, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	tab := GenerateSkySurvey(500, 1)
+	adv := NewAdvisor(tab, DefaultConfig())
+	res, err := adv.AdviseString("(class:, magnitude:, redshift:)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderContext(res.Context, 500); !strings.Contains(out, "class") {
+		t.Fatalf("context = %q", out)
+	}
+	if out := RenderSegmentation(res.Segmentations[0].Seg); !strings.Contains(out, "%") {
+		t.Fatalf("segmentation = %q", out)
+	}
+}
+
+func TestDescribeSegment(t *testing.T) {
+	tab := GenerateVOC(2000, 10)
+	adv := NewAdvisor(tab, DefaultConfig())
+	ctx, err := ContextOn(tab, "type_of_boat", "tonnage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adv.Advise(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := adv.Zoom(res, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := adv.DescribeSegment(q, ctx.Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tonnage") || !strings.Contains(out, "rows") {
+		t.Fatalf("detail = %q", out)
+	}
+	if _, err := adv.DescribeSegment(q, []string{"ghost"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestWebLogAdvice(t *testing.T) {
+	tab := GenerateWebLog(3000, 2)
+	adv := NewAdvisor(tab, DefaultConfig())
+	res, err := adv.AdviseString("(section:, status:, bytes:)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segmentations) < 3 {
+		t.Fatalf("answers = %d", len(res.Segmentations))
+	}
+}

@@ -1,0 +1,44 @@
+// Command charles-gen writes a built-in synthetic dataset to CSV, so
+// the advisor (or any other tool) can load it back. It is the
+// stand-in for the proprietary VOC shipping and astronomy databases
+// the paper demonstrates on.
+//
+// Usage:
+//
+//	charles-gen -dataset voc -rows 100000 -seed 1 -out voyages.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charles"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "voc", "dataset: voc, sky, weblog, gaussian, uniform, figure3")
+		rows   = flag.Int("rows", 100000, "rows to generate")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+	)
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = *dsName + ".csv"
+	}
+	tab, err := charles.GenerateDataset(*dsName, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := charles.WriteCSV(path, tab); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d rows x %d columns to %s\n", tab.NumRows(), tab.NumCols(), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charles-gen:", err)
+	os.Exit(1)
+}

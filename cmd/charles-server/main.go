@@ -1,0 +1,147 @@
+// Command charles-server serves the web rendering of the Figure 1
+// interface: the context panel on the left, the ranked answer list
+// as SVG pie charts on top, and the selected segmentation's segments
+// with their SDL and SQL forms in the main panel. Clicking "explore"
+// on a segment re-roots the context on that segment's query — the
+// interactive loop of the paper.
+//
+// Usage:
+//
+//	charles-server -dataset voc -rows 50000 -addr :8080
+//	charles-server -csv voyages.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"charles"
+	"charles/internal/ui"
+)
+
+// session holds the single-user exploration state: the current
+// context and its advice. A mutex guards it because net/http serves
+// concurrently while the evaluator is single-session.
+type session struct {
+	mu  sync.Mutex
+	adv *charles.Advisor
+	ctx charles.Query
+	res *charles.Result
+}
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "load this CSV file")
+		dsName  = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
+		rows    = flag.Int("rows", 50000, "rows for built-in datasets")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		addr    = flag.String("addr", ":8080", "listen address")
+		context = flag.String("context", "", "initial SDL context (empty = all columns)")
+	)
+	flag.Parse()
+
+	var tab *charles.Table
+	var err error
+	if *csvPath != "" {
+		tab, err = charles.LoadCSV(*csvPath)
+	} else {
+		tab, err = charles.GenerateDataset(*dsName, *rows, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-server:", err)
+		os.Exit(1)
+	}
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	ctx, err := adv.ParseContext(*context)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-server:", err)
+		os.Exit(1)
+	}
+	s := &session{adv: adv, ctx: ctx}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/zoom", s.handleZoom)
+	log.Printf("charles-server: advising on %q (%d rows) at http://localhost%s/",
+		tab.Name(), tab.NumRows(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// handleIndex advises on ?context= (or the current context) and
+// renders the page, optionally opening answer ?open=.
+func (s *session) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	errMsg := ""
+	if qs := r.URL.Query().Get("context"); qs != "" {
+		ctx, err := s.adv.ParseContext(qs)
+		if err != nil {
+			errMsg = err.Error()
+		} else if !ctx.Equal(s.ctx) {
+			s.ctx = ctx
+			s.res = nil
+		}
+	}
+	if s.res == nil {
+		res, err := s.adv.Advise(s.ctx)
+		if err != nil {
+			s.render(w, charles.Query{}, nil, -1, "advise: "+err.Error())
+			return
+		}
+		s.res = res
+	}
+	open := -1
+	if v := r.URL.Query().Get("open"); v != "" {
+		if i, err := strconv.Atoi(v); err == nil {
+			open = i
+		}
+	}
+	if open < 0 && len(s.res.Segmentations) > 0 {
+		open = 0
+	}
+	s.render(w, s.ctx, s.res, open, errMsg)
+}
+
+// handleZoom re-roots the context on a segment of the current
+// result.
+func (s *session) handleZoom(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	answer, _ := strconv.Atoi(r.URL.Query().Get("open"))
+	segment, _ := strconv.Atoi(r.URL.Query().Get("segment"))
+	if s.res != nil {
+		if q, err := s.adv.Zoom(s.res, answer, segment); err == nil {
+			s.ctx = q
+			s.res = nil
+		}
+	}
+	s.mu.Unlock()
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *session) render(w http.ResponseWriter, ctx charles.Query, res *charles.Result, open int, errMsg string) {
+	rows := 0
+	if res != nil {
+		if n, err := s.adv.Count(ctx); err == nil {
+			rows = n
+		}
+	}
+	var pd ui.PageData
+	if res != nil {
+		pd = ui.BuildPage(s.adv.Table().Name(), ctx, rows, res, open)
+	} else {
+		pd = ui.PageData{Table: s.adv.Table().Name(), Selected: -1}
+	}
+	pd.Error = errMsg
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := ui.PageTemplate.Execute(w, pd); err != nil {
+		log.Printf("charles-server: render: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"charles"
+)
+
+func testSession(t *testing.T) *session {
+	t.Helper()
+	tab := charles.GenerateVOC(2000, 1)
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	ctx, err := charles.ContextOn(tab, "type_of_boat", "tonnage", "departure_harbour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &session{adv: adv, ctx: ctx}
+}
+
+func get(t *testing.T, h http.HandlerFunc, target string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestIndexRendersFigure1Panels(t *testing.T) {
+	s := testSession(t)
+	res, body := get(t, s.handleIndex, "/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	for _, want := range []string{
+		"Charles — big data query advisor", // header
+		"Context",                          // left panel
+		"Proposed segmentations",           // top panel
+		"<svg",                             // pies
+		"SELECT * FROM",                    // drill-down SQL
+		"explore ➜",                        // zoom links
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("page missing %q", want)
+		}
+	}
+}
+
+func TestIndexOpensRequestedAnswer(t *testing.T) {
+	s := testSession(t)
+	_, body := get(t, s.handleIndex, "/?open=1")
+	if !strings.Contains(body, "Segmentation on") {
+		t.Fatal("detail panel missing")
+	}
+}
+
+func TestIndexContextChangeReAdvises(t *testing.T) {
+	s := testSession(t)
+	get(t, s.handleIndex, "/")
+	firstCtx := s.ctx.String()
+	newCtx := url.QueryEscape("(tonnage:, trip:)")
+	_, body := get(t, s.handleIndex, "/?context="+newCtx)
+	if s.ctx.String() == firstCtx {
+		t.Fatal("context did not change")
+	}
+	if !strings.Contains(body, "trip") {
+		t.Fatal("new context not rendered")
+	}
+}
+
+func TestIndexBadContextShowsError(t *testing.T) {
+	s := testSession(t)
+	get(t, s.handleIndex, "/") // prime a valid result
+	_, body := get(t, s.handleIndex, "/?context="+url.QueryEscape("(ghost:)"))
+	if !strings.Contains(body, "no column") {
+		t.Fatal("bind error not surfaced")
+	}
+	// The session keeps serving the previous valid result.
+	if !strings.Contains(body, "Proposed segmentations") {
+		t.Fatal("page broke on bad context")
+	}
+}
+
+func TestIndexNotFoundOnOtherPaths(t *testing.T) {
+	s := testSession(t)
+	res, _ := get(t, s.handleIndex, "/favicon.ico")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+}
+
+func TestZoomReRootsContext(t *testing.T) {
+	s := testSession(t)
+	get(t, s.handleIndex, "/") // populate s.res
+	before := s.ctx.String()
+	res, _ := get(t, s.handleZoom, "/zoom?open=0&segment=0")
+	if res.StatusCode != http.StatusSeeOther {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if s.ctx.String() == before {
+		t.Fatal("zoom did not change the context")
+	}
+	// Follow the redirect: the page advises on the zoomed context.
+	_, body := get(t, s.handleIndex, "/")
+	if !strings.Contains(body, "Proposed segmentations") {
+		t.Fatal("post-zoom page broken")
+	}
+}
+
+func TestZoomOutOfRangeKeepsContext(t *testing.T) {
+	s := testSession(t)
+	get(t, s.handleIndex, "/")
+	before := s.ctx.String()
+	get(t, s.handleZoom, "/zoom?open=99&segment=0")
+	if s.ctx.String() != before {
+		t.Fatal("invalid zoom changed the context")
+	}
+}

@@ -1,0 +1,168 @@
+// Command charles is the terminal front-end of the query advisor —
+// the text rendering of the Figure 1 interface. It loads a CSV file
+// or generates a built-in dataset, takes an SDL context, prints the
+// ranked segmentations, and (in interactive mode) lets the user open
+// answers and zoom into segments, answering queries with queries.
+//
+// Usage:
+//
+//	charles -dataset voc -rows 50000 -context "(type_of_boat:, tonnage:)"
+//	charles -csv voyages.csv -interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"charles"
+)
+
+func main() {
+	var (
+		csvPath  = flag.String("csv", "", "load this CSV file (headered; kinds inferred)")
+		dsName   = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
+		rows     = flag.Int("rows", 50000, "rows to generate for built-in datasets")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		context  = flag.String("context", "", "SDL context query; empty means all columns")
+		top      = flag.Int("top", 5, "answers to print (0 = all)")
+		maxDepth = flag.Int("max-depth", 12, "maximum segments per answer")
+		maxIndep = flag.Float64("max-indep", 0.99, "INDEP stopping threshold")
+		arity    = flag.Int("arity", 2, "pieces per cut (2 = paper's median cuts)")
+		sample   = flag.Int("sample", 0, "sample size for cut-point estimation (0 = exact)")
+		chi2     = flag.Bool("chi2", false, "use the chi-squared stopping rule instead of max-indep")
+		adaptive = flag.Bool("adaptive", false, "use adaptive per-piece cuts instead of HB-cuts")
+		interact = flag.Bool("interactive", false, "enter the interactive explore loop")
+	)
+	flag.Parse()
+
+	tab, err := loadTable(*csvPath, *dsName, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := charles.DefaultConfig()
+	cfg.MaxDepth = *maxDepth
+	cfg.MaxIndep = *maxIndep
+	cfg.Cut.Arity = *arity
+	cfg.Cut.SampleSize = *sample
+	cfg.UseChiSquare = *chi2
+	adv := charles.NewAdvisor(tab, cfg)
+
+	ctx, err := adv.ParseContext(*context)
+	if err != nil {
+		fatal(err)
+	}
+	if *adaptive {
+		scored, err := adv.Adaptive(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("adaptive cuts produced %d segmentations\n", len(scored))
+		for i, sc := range scored {
+			if *top > 0 && i >= *top {
+				break
+			}
+			fmt.Printf("\n#%d  depth=%d entropy=%.3f\n%s", i+1,
+				sc.Metrics.Depth, sc.Metrics.Entropy, charles.RenderSegmentation(sc.Seg))
+		}
+		return
+	}
+	if !*interact {
+		res, err := adv.Advise(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		n, _ := adv.Count(ctx)
+		fmt.Print(charles.RenderContext(ctx, n))
+		fmt.Print(charles.RenderRanked(res, *top))
+		return
+	}
+	explore(adv, ctx, *top)
+}
+
+func loadTable(csvPath, dsName string, rows int, seed int64) (*charles.Table, error) {
+	if csvPath != "" {
+		return charles.LoadCSV(csvPath)
+	}
+	return charles.GenerateDataset(dsName, rows, seed)
+}
+
+// explore runs the interactive loop: show ranked answers, open one,
+// zoom into a segment (the segment's query becomes the context),
+// back out, or quit.
+func explore(adv *charles.Advisor, ctx charles.Query, top int) {
+	stack := []charles.Query{ctx}
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		cur := stack[len(stack)-1]
+		res, err := adv.Advise(cur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			return
+		}
+		n, _ := adv.Count(cur)
+		fmt.Print("\n", charles.RenderContext(cur, n))
+		fmt.Print(charles.RenderRanked(res, top))
+		fmt.Print("\ncommands: zoom <answer> <segment> | detail <answer> <segment> | sql <answer> <segment> | back | quit\n> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "q", "exit":
+			return
+		case "back", "b":
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+			} else {
+				fmt.Println("already at the root context")
+			}
+		case "zoom", "z", "sql", "detail", "d":
+			if len(fields) != 3 {
+				fmt.Println("usage:", fields[0], "<answer> <segment> (1-based answer as printed)")
+				continue
+			}
+			ai, err1 := strconv.Atoi(fields[1])
+			si, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("indexes must be numbers")
+				continue
+			}
+			q, err := adv.Zoom(res, ai-1, si)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			switch fields[0] {
+			case "sql":
+				fmt.Println(charles.SQLSelect(q, adv.Table().Name()))
+			case "detail", "d":
+				out, err := adv.DescribeSegment(q, cur.Attrs())
+				if err != nil {
+					fmt.Println(err)
+					continue
+				}
+				fmt.Print(out)
+			default:
+				stack = append(stack, q)
+			}
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charles:", err)
+	os.Exit(1)
+}

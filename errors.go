@@ -1,0 +1,20 @@
+package charles
+
+import "fmt"
+
+// RangeError reports an out-of-range answer or segment index passed
+// to Zoom.
+type RangeError struct {
+	What  string
+	Index int
+	Len   int
+}
+
+// Error implements the error interface.
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("charles: %s index %d out of range [0, %d)", e.What, e.Index, e.Len)
+}
+
+func errOutOfRange(what string, index, n int) error {
+	return &RangeError{What: what, Index: index, Len: n}
+}

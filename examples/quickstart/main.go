@@ -1,0 +1,38 @@
+// Quickstart: ask Charles for segmentations of a small table and
+// print the ranked answers. This is the smallest end-to-end use of
+// the public API: generate (or load) a table, build an advisor,
+// advise on a context, render the results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"charles"
+)
+
+func main() {
+	// A small VOC voyages table; LoadCSV works the same way for your
+	// own data.
+	tab := charles.GenerateVOC(10000, 1)
+
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+
+	// The context is an SDL query: the columns you care about, with
+	// optional constraints. Unconstrained columns end with ':'.
+	res, err := adv.AdviseString("(type_of_boat:, tonnage:, departure_harbour:)")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(charles.RenderRanked(res, 3))
+
+	// Every segment is itself a query: pick one and keep exploring,
+	// or hand its SQL to any database.
+	q, err := adv.Zoom(res, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDrill into the first segment with:")
+	fmt.Println(" ", charles.SQLSelect(q, tab.Name()))
+}

@@ -1,0 +1,49 @@
+// Skysurvey: the astronomy scenario of the demonstration proposal
+// ("we will use a few domain-specific databases, covering topics
+// such as history and astronomy"). Charles summarizes a sky-survey
+// catalogue, discovering that object class drives the photometric
+// attributes, then the example shows the lazy stream (Section 5.2):
+// first answers immediately, more on request.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"charles"
+)
+
+func main() {
+	tab := charles.GenerateSkySurvey(40000, 7)
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+
+	ctx, err := charles.ContextOn(tab, "class", "magnitude", "redshift", "dec")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== eager advice ===")
+	res, err := adv.Advise(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(charles.RenderRanked(res, 3))
+
+	// Lazy generation: take answers one at a time — what an
+	// interactive UI would do while the user is already reading.
+	fmt.Println("\n=== lazy stream, first three answers ===")
+	st, err := adv.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		sc, ok, err := st.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		fmt.Printf("\nanswer %d, entropy %.3f bits:\n%s",
+			i+1, sc.Metrics.Entropy, charles.RenderSegmentation(sc.Seg))
+	}
+}

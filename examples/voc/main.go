@@ -1,0 +1,59 @@
+// VOC: the Figure 1 session of the paper. A historian faces 50k
+// Dutch East India Company voyages and asks Charles what the data
+// looks like, starting from the columns of the Figure 1 screenshot,
+// then zooming into the Cape-bound heavy ships the way the figure's
+// user picks a pie slice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"charles"
+)
+
+func main() {
+	tab := charles.GenerateVOC(50000, 1)
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+
+	// The context of Figure 1: tonnage constrained to the big ships,
+	// the other columns open.
+	ctx, err := charles.ParseQuery(
+		"(type_of_boat:, tonnage: [300, 1300], departure_harbour:, built:, trip:)", tab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := adv.Count(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(charles.RenderContext(ctx, n))
+
+	res, err := adv.Advise(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(charles.RenderRanked(res, 3))
+
+	// The user opens the top answer and zooms into its largest
+	// segment: the segment's query becomes the next context.
+	best := res.Segmentations[0].Seg
+	largest := 0
+	for i, c := range best.Counts {
+		if c > best.Counts[largest] {
+			largest = i
+		}
+	}
+	sub, err := adv.Zoom(res, 0, largest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== zoomed into:", sub, "===")
+	res2, err := adv.Advise(sub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(charles.RenderRanked(res2, 2))
+	fmt.Println("\nSQL for further exploration:")
+	fmt.Println(" ", charles.SQLSelect(sub, tab.Name()))
+}

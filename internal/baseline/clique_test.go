@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/dataset"
+	"charles/internal/engine"
+)
+
+func TestCliqueFindsPlantedClusters(t *testing.T) {
+	// Two tight blobs far apart in 2D: CLIQUE must report at least
+	// one 2-dimensional subspace cluster per blob region.
+	n := 1000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x[i], y[i] = 10+float64(i%7), 10+float64(i%5)
+		} else {
+			x[i], y[i] = 80+float64(i%7), 80+float64(i%5)
+		}
+	}
+	tab := engine.MustNewTable("blobs",
+		engine.NewFloatColumn("x", x), engine.NewFloatColumn("y", y))
+	res, err := Clique(tab, tab.All(), []string{"x", "y"}, CliqueConfig{Xi: 10, Tau: 0.05, MaxDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twoDim []CliqueCluster
+	for _, c := range res.Clusters {
+		if len(c.Subspace) == 2 {
+			twoDim = append(twoDim, c)
+		}
+	}
+	if len(twoDim) < 2 {
+		t.Fatalf("found %d 2-dim clusters, want ≥ 2 (one per blob)", len(twoDim))
+	}
+	covered := 0
+	for _, c := range twoDim {
+		covered += c.Coverage
+	}
+	if covered < n*9/10 {
+		t.Fatalf("2-dim clusters cover %d of %d rows", covered, n)
+	}
+}
+
+func TestCliqueDNFRendering(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i % 10)
+	}
+	tab := engine.MustNewTable("t", engine.NewFloatColumn("x", x))
+	res, err := Clique(tab, tab.All(), []string{"x"}, CliqueConfig{Xi: 5, Tau: 0.1, MaxDims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	dnf := res.DNF(0)
+	if !strings.Contains(dnf, "<=x<") {
+		t.Fatalf("DNF = %q", dnf)
+	}
+}
+
+func TestCliqueNominalDimensions(t *testing.T) {
+	tab := dataset.VOC(2000, 3)
+	res, err := Clique(tab, tab.All(), []string{"type_of_boat", "tonnage"}, DefaultCliqueConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense (type, tonnage-bin) units must exist: types concentrate
+	// their tonnage.
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Subspace) == 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no 2-dim cluster over a nominal+numeric subspace")
+	}
+}
+
+func TestCliqueAdjacencyMergesNeighbors(t *testing.T) {
+	// A uniform stripe across bins 0..4 of x must merge into ONE
+	// cluster (connected dense units), not five.
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = float64(i) / 100 // uniform over [0,5)
+	}
+	tab := engine.MustNewTable("t", engine.NewFloatColumn("x", x))
+	res, err := Clique(tab, tab.All(), []string{"x"}, CliqueConfig{Xi: 5, Tau: 0.1, MaxDims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 merged stripe", len(res.Clusters))
+	}
+	if res.Clusters[0].Coverage != 500 {
+		t.Fatalf("coverage = %d", res.Clusters[0].Coverage)
+	}
+	if len(res.Clusters[0].Units) != 5 {
+		t.Fatalf("units = %d, want 5", len(res.Clusters[0].Units))
+	}
+}
+
+func TestCliqueEmptySelection(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewFloatColumn("x", []float64{1}))
+	if _, err := Clique(tab, engine.Selection{}, []string{"x"}, DefaultCliqueConfig()); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestCliqueUnknownColumn(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewFloatColumn("x", []float64{1, 2}))
+	if _, err := Clique(tab, tab.All(), []string{"ghost"}, DefaultCliqueConfig()); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestCliqueConfigDefaults(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewFloatColumn("x", []float64{1, 2, 3, 4}))
+	// Zero config normalizes to defaults instead of dividing by zero.
+	if _, err := Clique(tab, tab.All(), []string{"x"}, CliqueConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueDeterministic(t *testing.T) {
+	tab := dataset.GaussianMixture(1500, 2, 3, 7)
+	run := func() int {
+		res, err := Clique(tab, tab.All(), []string{"x0", "x1"}, DefaultCliqueConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Clusters)*1000 + res.DenseUnitCount
+	}
+	if run() != run() {
+		t.Fatal("CLIQUE output not deterministic")
+	}
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"testing"
+
+	"charles/internal/dataset"
+	"charles/internal/engine"
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+func TestFacetsPartitionAndBreadthOne(t *testing.T) {
+	tab := dataset.VOC(2000, 1)
+	ev := seg.NewEvaluator(tab)
+	ctx, err := sdl.ContextOn(tab, "type_of_boat", "tonnage", "departure_harbour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets, err := Facets(ev, ctx, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 3 {
+		t.Fatalf("facets = %d, want 3", len(facets))
+	}
+	for _, f := range facets {
+		if err := seg.ValidatePartition(ev, ctx, f); err != nil {
+			t.Fatalf("%v: %v", f.CutAttrs, err)
+		}
+		// "As in most faceted search applications, all the facets are
+		// based on one attribute only."
+		if f.Breadth() != 1 {
+			t.Fatalf("facet on %v has breadth %d", f.CutAttrs, f.Breadth())
+		}
+		if f.Depth() > 6 {
+			t.Fatalf("facet on %v has %d groups, want ≤ 6", f.CutAttrs, f.Depth())
+		}
+	}
+}
+
+func TestFacetsNominalOtherBucket(t *testing.T) {
+	tab := dataset.VOC(2000, 2)
+	ev := seg.NewEvaluator(tab)
+	ctx, err := sdl.ContextOn(tab, "master") // high-cardinality nominal
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets, err := Facets(ev, ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 1 {
+		t.Fatalf("facets = %d", len(facets))
+	}
+	f := facets[0]
+	if f.Depth() != 5 {
+		t.Fatalf("groups = %d, want 5 (4 values + other)", f.Depth())
+	}
+	// The last group pools the tail: it must contain many values.
+	last, _ := f.Queries[f.Depth()-1].Constraint("master")
+	if len(last.Set) < 10 {
+		t.Fatalf("other bucket has %d values", len(last.Set))
+	}
+	if err := seg.ValidatePartition(ev, ctx, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacetsSkipsConstantColumns(t *testing.T) {
+	tab := engine.MustNewTable("t",
+		engine.NewIntColumn("v", []int64{1, 2, 3, 4}),
+		engine.NewIntColumn("c", []int64{7, 7, 7, 7}),
+		engine.NewFloatColumn("fc", []float64{1, 1, 1, 1}),
+	)
+	ev := seg.NewEvaluator(tab)
+	facets, err := Facets(ev, sdl.ContextAll(tab), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 1 || facets[0].CutAttrs[0] != "v" {
+		t.Fatalf("facets = %v", facets)
+	}
+}
+
+func TestFacetsIntBinsCoverDomainExactly(t *testing.T) {
+	vals := make([]int64, 103) // deliberately not divisible
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := engine.MustNewTable("t", engine.NewIntColumn("v", vals))
+	ev := seg.NewEvaluator(tab)
+	ctx := sdl.ContextAll(tab)
+	facets, err := Facets(ev, ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.ValidatePartition(ev, ctx, facets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if facets[0].Depth() != 4 {
+		t.Fatalf("bins = %d", facets[0].Depth())
+	}
+}
+
+func TestFacetsNarrowIntDomain(t *testing.T) {
+	// Domain narrower than the group count: one bin per value.
+	tab := engine.MustNewTable("t", engine.NewIntColumn("v", []int64{0, 1, 2, 0, 1, 2}))
+	ev := seg.NewEvaluator(tab)
+	ctx := sdl.ContextAll(tab)
+	facets, err := Facets(ev, ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facets[0].Depth() != 3 {
+		t.Fatalf("bins = %d, want 3", facets[0].Depth())
+	}
+	if err := seg.ValidatePartition(ev, ctx, facets[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacetsErrors(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewIntColumn("v", []int64{1, 2}))
+	ev := seg.NewEvaluator(tab)
+	ctx := sdl.MustQuery(sdl.ClosedRange("v", engine.Int(50), engine.Int(60)))
+	if _, err := Facets(ev, ctx, 4); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestFacetsBoolAndFloat(t *testing.T) {
+	tab := engine.MustNewTable("t",
+		engine.NewBoolColumn("b", []bool{true, false, true, false}),
+		engine.NewFloatColumn("f", []float64{0, 1, 2, 3}),
+	)
+	ev := seg.NewEvaluator(tab)
+	ctx := sdl.ContextAll(tab)
+	facets, err := Facets(ev, ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 2 {
+		t.Fatalf("facets = %d", len(facets))
+	}
+	for _, f := range facets {
+		if err := seg.ValidatePartition(ev, ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+// AdaptiveCuts implements the Section 5.2 extension that lifts the
+// paper's "heavy restriction: all queries in a segmentation are
+// based on the same attributes". It grows one segmentation greedily:
+// at each step the largest segment is split, preferring an attribute
+// that does not yet constrain that segment (each split should reveal
+// a new aspect, maximizing per-piece breadth) and breaking ties by
+// the balance of the resulting binary cut. Different pieces may
+// therefore be cut on different attributes — a decision-tree-shaped
+// exploration, cf. DynaCet in Section 6.2. The full search space is
+// exponential; this greedy policy is the tractable rendering the
+// paper hints at.
+//
+// The returned slice holds the segmentation after every split
+// (depths 2..MaxDepth), ranked like HBCuts output.
+func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, error) {
+	cfg = cfg.normalize()
+	attrs := context.Attrs()
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: context mentions no attributes")
+	}
+	count, err := ev.Count(context)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("core: context %s selects no rows", context)
+	}
+	cur := &seg.Segmentation{Queries: []sdl.Query{context}, Counts: []int{count}}
+	var out []Scored
+	for cur.Depth() < cfg.MaxDepth {
+		// Pick the largest segment — the user is "primarily
+		// interested in the most significant parts of the data".
+		target := 0
+		for i, c := range cur.Counts {
+			if c > cur.Counts[target] {
+				target = i
+			}
+		}
+		targetQuery := cur.Queries[target]
+		bestAttr, bestChildren := "", []sdl.Query(nil)
+		bestFresh, bestBalance := false, -1.0
+		for _, attr := range attrs {
+			children, err := seg.CutQuery(ev, targetQuery, attr, cfg.Cut)
+			if err != nil {
+				return nil, err
+			}
+			if len(children) < 2 {
+				continue
+			}
+			counts := make([]int, len(children))
+			for i, q := range children {
+				n, err := ev.Count(q)
+				if err != nil {
+					return nil, err
+				}
+				counts[i] = n
+			}
+			bal := (&seg.Segmentation{Queries: children, Counts: counts}).Balance()
+			c, constrained := targetQuery.Constraint(attr)
+			fresh := !constrained || c.IsAny()
+			better := false
+			switch {
+			case fresh && !bestFresh:
+				better = true
+			case fresh == bestFresh && bal > bestBalance:
+				better = true
+			}
+			if better {
+				bestAttr, bestChildren = attr, children
+				bestFresh, bestBalance = fresh, bal
+			}
+		}
+		if bestAttr == "" {
+			break // no segment can be split further
+		}
+		next := &seg.Segmentation{CutAttrs: cur.CutAttrs}
+		next.CutAttrs = mergeAttrList(cur.CutAttrs, bestAttr)
+		for i, q := range cur.Queries {
+			if i != target {
+				next.Queries = append(next.Queries, q)
+				next.Counts = append(next.Counts, cur.Counts[i])
+				continue
+			}
+			for _, child := range bestChildren {
+				n, err := ev.Count(child)
+				if err != nil {
+					return nil, err
+				}
+				if n == 0 {
+					continue
+				}
+				next.Queries = append(next.Queries, child)
+				next.Counts = append(next.Counts, n)
+			}
+		}
+		cur = next
+		out = append(out, newScored(cur, cfg.Score))
+	}
+	sortScored(out)
+	return out, nil
+}
+
+func mergeAttrList(attrs []string, attr string) []string {
+	for _, a := range attrs {
+		if a == attr {
+			return attrs
+		}
+	}
+	out := make([]string, 0, len(attrs)+1)
+	out = append(out, attrs...)
+	out = append(out, attr)
+	// Keep canonical order.
+	for i := len(out) - 1; i > 0 && out[i] < out[i-1]; i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
+	return out
+}

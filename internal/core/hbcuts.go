@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+// Result is the ranked answer list HB-cuts returns for a context —
+// the content of the top panel in Figure 1.
+type Result struct {
+	// Context is the query whose extent was segmented.
+	Context sdl.Query
+	// Segmentations is the ranked output ("all intermediate results
+	// ... returned by order of entropy").
+	Segmentations []Scored
+	// SkippedAttrs lists context attributes that could not seed an
+	// initial cut (constant within the context extent).
+	SkippedAttrs []string
+	// Iterations counts composition steps performed.
+	Iterations int
+	// IndepEvals counts INDEP evaluations, including cache hits
+	// avoided — the horizontal-scalability cost driver of E6.
+	IndepEvals int
+	// IndepCacheHits counts INDEP lookups served from the pair
+	// cache (the Section 5.1 reuse optimization).
+	IndepCacheHits int
+	// StopReason records why composition ended.
+	StopReason StopReason
+	// Trace records one entry per composition step, in order — the
+	// execution trace Figure 3 visualizes.
+	Trace []TraceStep
+}
+
+// TraceStep documents one composition of the HB-cuts loop.
+type TraceStep struct {
+	// Left and Right are the cut-attribute sets of the composed
+	// pair.
+	Left, Right []string
+	// Indep is the pair's INDEP quotient at composition time.
+	Indep float64
+	// Depth is the number of queries in the composed segmentation.
+	Depth int
+}
+
+// StopReason explains HB-cuts termination.
+type StopReason uint8
+
+// Termination causes.
+const (
+	// StopExhausted: fewer than two candidates remained.
+	StopExhausted StopReason = iota
+	// StopIndependent: the most dependent pair reached MaxIndep (or
+	// passed the chi-squared independence test).
+	StopIndependent
+	// StopDepth: the composed segmentation reached MaxDepth queries.
+	StopDepth
+)
+
+// String names the stop reason for reports.
+func (r StopReason) String() string {
+	switch r {
+	case StopExhausted:
+		return "candidates exhausted"
+	case StopIndependent:
+		return "pair independent"
+	case StopDepth:
+		return "depth bound reached"
+	default:
+		return "unknown"
+	}
+}
+
+// candidate wraps a segmentation with a stable id for INDEP-cache
+// keying.
+type candidate struct {
+	id  int
+	seg *seg.Segmentation
+}
+
+// hbState carries the algorithm state shared by the eager run and
+// the lazy stream.
+type hbState struct {
+	ev      *seg.Evaluator
+	cfg     Config
+	context sdl.Query
+	cand    []candidate
+	nextID  int
+	indep   map[[2]int]float64
+	rng     *rand.Rand
+	res     *Result
+}
+
+// HBCuts runs the Figure 4 algorithm: seed one binary segmentation
+// per context attribute, repeatedly compose the most dependent pair,
+// stop on independence or depth, and return every segmentation
+// encountered, ranked.
+func HBCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) (*Result, error) {
+	st, err := newHBState(ev, context, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Every initial candidate is an answer (Figure 3 returns the
+	// single-attribute segmentations alongside the composed ones).
+	for _, c := range st.cand {
+		st.res.Segmentations = append(st.res.Segmentations, newScored(c.seg, st.cfg.Score))
+	}
+	for {
+		composed, _, err := st.step()
+		if err != nil {
+			return nil, err
+		}
+		if composed == nil {
+			break
+		}
+		st.res.Segmentations = append(st.res.Segmentations, newScored(composed, st.cfg.Score))
+	}
+	sortScored(st.res.Segmentations)
+	return st.res, nil
+}
+
+func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, error) {
+	cfg = cfg.normalize()
+	if len(context.Attrs()) == 0 {
+		return nil, fmt.Errorf("core: context mentions no attributes")
+	}
+	st := &hbState{
+		ev:      ev,
+		cfg:     cfg,
+		context: context,
+		indep:   make(map[[2]int]float64),
+		res:     &Result{Context: context},
+	}
+	if cfg.Pairing == PairRandom {
+		st.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	// Figure 4 lines 3-5: one binary cut per context attribute. By
+	// convention exploration is restricted to the columns the user
+	// mentioned (Section 2).
+	for _, attr := range context.Attrs() {
+		s, ok, err := seg.InitialCut(ev, context, attr, cfg.Cut)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			st.res.SkippedAttrs = append(st.res.SkippedAttrs, attr)
+			continue
+		}
+		st.cand = append(st.cand, candidate{id: st.nextID, seg: s})
+		st.nextID++
+	}
+	if len(st.cand) == 0 {
+		return nil, fmt.Errorf("core: no context attribute of %s can be cut", context)
+	}
+	return st, nil
+}
+
+// step performs one iteration of the Figure 4 loop. It returns the
+// newly composed segmentation, or nil when the algorithm stopped
+// (StopReason recorded on the result). The boolean reports whether
+// composition may continue.
+func (st *hbState) step() (*seg.Segmentation, bool, error) {
+	if len(st.cand) < 2 {
+		st.res.StopReason = StopExhausted
+		return nil, false, nil
+	}
+	i, j, ind, err := st.pickPair()
+	if err != nil {
+		return nil, false, err
+	}
+	s1, s2 := st.cand[i], st.cand[j]
+	// Check independence before paying for the composition when the
+	// fixed threshold already fails (the chi-squared rule needs the
+	// same cell counts INDEP used, so it is also checked here).
+	stop := false
+	if st.cfg.UseChiSquare {
+		indep, err := seg.ChiSquareIndependent(st.ev, s1.seg, s2.seg, st.cfg.ChiAlpha)
+		if err != nil {
+			return nil, false, err
+		}
+		stop = indep
+	} else {
+		stop = ind >= st.cfg.MaxIndep
+	}
+	if stop {
+		st.res.StopReason = StopIndependent
+		return nil, false, nil
+	}
+	composed, err := seg.Compose(st.ev, s1.seg, s2.seg, st.cfg.Cut)
+	if err != nil {
+		return nil, false, err
+	}
+	if composed.Depth() >= st.cfg.MaxDepth {
+		st.res.StopReason = StopDepth
+		return nil, false, nil
+	}
+	st.res.Iterations++
+	st.res.Trace = append(st.res.Trace, TraceStep{
+		Left:  s1.seg.CutAttrs,
+		Right: s2.seg.CutAttrs,
+		Indep: ind,
+		Depth: composed.Depth(),
+	})
+	// Figure 4 lines 18-20: replace the pair with the composition.
+	st.removePair(i, j)
+	st.cand = append(st.cand, candidate{id: st.nextID, seg: composed})
+	st.nextID++
+	return composed, true, nil
+}
+
+// pickPair returns the candidate index pair to compose along with
+// its INDEP value. Under PairMostDependent it is the argmin of
+// Figure 4 line 11, with INDEP values cached across iterations
+// (Section 5.1: "the calculations of SDL products and entropy can be
+// reused from one iteration to the next").
+func (st *hbState) pickPair() (int, int, float64, error) {
+	if st.cfg.Pairing == PairRandom {
+		i := st.rng.Intn(len(st.cand))
+		j := st.rng.Intn(len(st.cand) - 1)
+		if j >= i {
+			j++
+		}
+		if i > j {
+			i, j = j, i
+		}
+		ind, err := st.pairIndep(st.cand[i], st.cand[j])
+		return i, j, ind, err
+	}
+	bestI, bestJ, bestInd := -1, -1, 0.0
+	for i := 0; i < len(st.cand); i++ {
+		for j := i + 1; j < len(st.cand); j++ {
+			ind, err := st.pairIndep(st.cand[i], st.cand[j])
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if bestI < 0 || ind < bestInd {
+				bestI, bestJ, bestInd = i, j, ind
+			}
+		}
+	}
+	return bestI, bestJ, bestInd, nil
+}
+
+func (st *hbState) pairIndep(a, b candidate) (float64, error) {
+	key := [2]int{a.id, b.id}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	if v, ok := st.indep[key]; ok {
+		st.res.IndepCacheHits++
+		return v, nil
+	}
+	v, err := seg.Indep(st.ev, a.seg, b.seg)
+	if err != nil {
+		return 0, err
+	}
+	st.res.IndepEvals++
+	st.indep[key] = v
+	return v, nil
+}
+
+func (st *hbState) removePair(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	st.cand = append(st.cand[:j], st.cand[j+1:]...)
+	st.cand = append(st.cand[:i], st.cand[i+1:]...)
+}

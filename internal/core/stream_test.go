@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"charles/internal/dataset"
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+func TestStreamYieldsSameSetAsEager(t *testing.T) {
+	tab := dataset.Figure3(5000, 1)
+	ctx := sdl.ContextAll(tab)
+
+	eager, err := HBCuts(seg.NewEvaluator(tab), ctx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(seg.NewEvaluator(tab), ctx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lazy) != len(eager.Segmentations) {
+		t.Fatalf("lazy yielded %d, eager %d", len(lazy), len(eager.Segmentations))
+	}
+	eagerKeys := map[string]bool{}
+	for _, s := range eager.Segmentations {
+		eagerKeys[s.Seg.Key()] = true
+	}
+	for _, s := range lazy {
+		if !eagerKeys[s.Seg.Key()] {
+			t.Fatalf("lazy produced %s not in eager output", s.Seg.Key())
+		}
+	}
+}
+
+func TestStreamFirstAnswersAreInitialCuts(t *testing.T) {
+	tab := dataset.Figure3(5000, 1)
+	ctx := sdl.ContextAll(tab)
+	st, err := NewStream(seg.NewEvaluator(tab), ctx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first five answers are the single-attribute cuts — the
+	// "small set of queries" available immediately.
+	for i := 0; i < 5; i++ {
+		sc, ok, err := st.Next()
+		if err != nil || !ok {
+			t.Fatalf("answer %d: ok=%v err=%v", i, ok, err)
+		}
+		if len(sc.Seg.CutAttrs) != 1 {
+			t.Fatalf("answer %d cut on %v, want single attribute", i, sc.Seg.CutAttrs)
+		}
+	}
+	// The sixth answer is the first composition.
+	sc, ok, err := st.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(sc.Seg.CutAttrs) != 2 {
+		t.Fatalf("sixth answer cut on %v, want composed pair", sc.Seg.CutAttrs)
+	}
+}
+
+func TestStreamExhaustion(t *testing.T) {
+	tab := dataset.UniformInts(2000, 2, 100, 3)
+	ctx := sdl.ContextAll(tab)
+	st, err := NewStream(seg.NewEvaluator(tab), ctx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("independent 2-column stream yielded %d answers, want 2", n)
+	}
+	// Next after exhaustion keeps returning false without error.
+	if _, ok, err := st.Next(); ok || err != nil {
+		t.Fatalf("post-exhaustion Next: ok=%v err=%v", ok, err)
+	}
+	if st.Result().StopReason != StopIndependent {
+		t.Fatalf("stop reason = %v", st.Result().StopReason)
+	}
+}
+
+func TestStreamErrorPropagation(t *testing.T) {
+	tab := dataset.Figure3(100, 1)
+	if _, err := NewStream(seg.NewEvaluator(tab), sdl.Query{}, DefaultConfig()); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}

@@ -1,0 +1,372 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"charles/internal/engine"
+)
+
+// SkySurvey generates the astronomy workload of the demonstration
+// proposal: ra/dec positions, magnitude, redshift, and an object
+// class. Classes drive the photometric attributes — quasars are
+// faint and high-redshift, stars bright and at zero redshift — so
+// class is the attribute HB-cuts should discover as the dependence
+// hub.
+func SkySurvey(n int, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ra := make([]float64, n)
+	dec := make([]float64, n)
+	mag := make([]float64, n)
+	redshift := make([]float64, n)
+	class := make([]string, n)
+	// Galaxy clusters concentrate around a few sky centres.
+	type center struct{ ra, dec float64 }
+	clusters := make([]center, 5)
+	for i := range clusters {
+		clusters[i] = center{rng.Float64() * 360, rng.Float64()*120 - 60}
+	}
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.45: // star
+			class[i] = "star"
+			ra[i] = rng.Float64() * 360
+			dec[i] = rng.Float64()*180 - 90
+			mag[i] = 8 + rng.NormFloat64()*2.5
+			redshift[i] = math.Abs(rng.NormFloat64()) * 0.0005
+		case r < 0.80: // galaxy: clustered on the sky
+			class[i] = "galaxy"
+			c := clusters[rng.Intn(len(clusters))]
+			ra[i] = math.Mod(c.ra+rng.NormFloat64()*4+360, 360)
+			dec[i] = clamp(c.dec+rng.NormFloat64()*3, -90, 90)
+			mag[i] = 14 + rng.NormFloat64()*2
+			redshift[i] = math.Abs(0.08 + rng.NormFloat64()*0.05)
+		case r < 0.95: // quasar: faint, high redshift
+			class[i] = "quasar"
+			ra[i] = rng.Float64() * 360
+			dec[i] = rng.Float64()*180 - 90
+			mag[i] = 19 + rng.NormFloat64()*1.5
+			redshift[i] = math.Abs(1.8 + rng.NormFloat64()*0.8)
+		default: // nebula
+			class[i] = "nebula"
+			ra[i] = rng.Float64() * 360
+			dec[i] = clamp(rng.NormFloat64()*20, -90, 90) // galactic plane
+			mag[i] = 11 + rng.NormFloat64()*3
+			redshift[i] = math.Abs(rng.NormFloat64()) * 0.001
+		}
+	}
+	return engine.MustNewTable("sky",
+		engine.NewFloatColumn("ra", ra),
+		engine.NewFloatColumn("dec", dec),
+		engine.NewFloatColumn("magnitude", mag),
+		engine.NewFloatColumn("redshift", redshift),
+		engine.NewStringColumn("class", class),
+	)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// webSection couples a site section with its typical status mix,
+// payload size and mobile share.
+type webSection struct {
+	name        string
+	errRate     float64
+	meanBytes   float64
+	mobileShare float64
+	weight      int
+}
+
+var webSections = []webSection{
+	{"home", 0.01, 40_000, 0.55, 30},
+	{"search", 0.03, 15_000, 0.50, 22},
+	{"product", 0.02, 80_000, 0.45, 25},
+	{"api", 0.08, 2_000, 0.10, 13},
+	{"checkout", 0.05, 30_000, 0.40, 6},
+	{"admin", 0.15, 10_000, 0.05, 4},
+}
+
+var webCountries = []string{"NL", "DE", "US", "FR", "GB", "BE", "IN", "BR", "JP", "ES"}
+
+// WebLog generates the web-log workload of the Section 1 motivation:
+// date, section, HTTP status, bytes, country (Zipf-skewed) and
+// device. Status and bytes depend on section; device share does too.
+func WebLog(n int, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	totalWeight := 0
+	for _, s := range webSections {
+		totalWeight += s.weight
+	}
+	day := make([]int64, n)
+	section := make([]string, n)
+	status := make([]int64, n)
+	bytes := make([]int64, n)
+	country := make([]string, n)
+	device := make([]string, n)
+	start := engine.DaysFromDate(2012, time.January, 1)
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(webCountries)-1))
+	for i := 0; i < n; i++ {
+		sec := pickSection(rng, totalWeight)
+		section[i] = sec.name
+		day[i] = start + rng.Int63n(366)
+		switch r := rng.Float64(); {
+		case r < sec.errRate*0.6:
+			status[i] = 500
+		case r < sec.errRate:
+			status[i] = 404
+		case r < sec.errRate+0.05:
+			status[i] = 301
+		default:
+			status[i] = 200
+		}
+		b := sec.meanBytes * (0.3 + rng.ExpFloat64())
+		if status[i] >= 400 {
+			b = 512 + rng.Float64()*1024 // error pages are small
+		}
+		bytes[i] = int64(b)
+		country[i] = webCountries[zipf.Uint64()]
+		if rng.Float64() < sec.mobileShare {
+			device[i] = "mobile"
+		} else if rng.Float64() < 0.1 {
+			device[i] = "tablet"
+		} else {
+			device[i] = "desktop"
+		}
+	}
+	return engine.MustNewTable("weblog",
+		engine.NewDateColumn("day", day),
+		engine.NewStringColumn("section", section),
+		engine.NewIntColumn("status", status),
+		engine.NewIntColumn("bytes", bytes),
+		engine.NewStringColumn("country", country),
+		engine.NewStringColumn("device", device),
+	)
+}
+
+func pickSection(rng *rand.Rand, totalWeight int) webSection {
+	w := rng.Intn(totalWeight)
+	for _, s := range webSections {
+		if w < s.weight {
+			return s
+		}
+		w -= s.weight
+	}
+	return webSections[len(webSections)-1]
+}
+
+// GaussianMixture generates n points from k spherical Gaussian
+// clusters in dims dimensions (float columns x0..x<dims-1>) plus the
+// ground-truth cluster label — the homogeneity workload of E9/E10.
+func GaussianMixture(n, dims, k int, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		// Rejection-sample centers at least 30 apart so the planted
+		// clusters are actually separable (bounded retries keep the
+		// generator total even for large k).
+		for attempt := 0; ; attempt++ {
+			cand := make([]float64, dims)
+			for d := range cand {
+				cand[d] = rng.Float64() * 100
+			}
+			ok := true
+			for _, prev := range centers[:c] {
+				distSq := 0.0
+				for d := range cand {
+					diff := cand[d] - prev[d]
+					distSq += diff * diff
+				}
+				if distSq < 30*30 {
+					ok = false
+					break
+				}
+			}
+			if ok || attempt > 200 {
+				centers[c] = cand
+				break
+			}
+		}
+	}
+	cols := make([][]float64, dims)
+	for d := range cols {
+		cols[d] = make([]float64, n)
+	}
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		labels[i] = fmt.Sprintf("cluster%d", c)
+		for d := 0; d < dims; d++ {
+			cols[d][i] = centers[c][d] + rng.NormFloat64()*6
+		}
+	}
+	tableCols := make([]engine.Column, 0, dims+1)
+	for d := range cols {
+		tableCols = append(tableCols, engine.NewFloatColumn(fmt.Sprintf("x%d", d), cols[d]))
+	}
+	tableCols = append(tableCols, engine.NewStringColumn("label", labels))
+	return engine.MustNewTable("gaussian", tableCols...)
+}
+
+// UniformInts generates cols independent uniform integer columns
+// u0..u<cols-1> over [0, domain) — the null model for Proposition 1.
+func UniformInts(n, cols int, domain int64, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tableCols := make([]engine.Column, cols)
+	for c := 0; c < cols; c++ {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(domain)
+		}
+		tableCols[c] = engine.NewIntColumn(fmt.Sprintf("u%d", c), vals)
+	}
+	return engine.MustNewTable("uniform", tableCols...)
+}
+
+// CorrelatedPair generates two integer columns x, y whose dependence
+// is controlled by rho in [0, 1]: each y is a noisy copy of x with
+// probability rho and independent noise otherwise. rho 0 gives
+// independence (INDEP ≈ 1), rho 1 near-functional dependence.
+func CorrelatedPair(n int, rho float64, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	const domain = 1000
+	x := make([]int64, n)
+	y := make([]int64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Int63n(domain)
+		if rng.Float64() < rho {
+			y[i] = x[i] + rng.Int63n(domain/20) - domain/40
+			if y[i] < 0 {
+				y[i] = 0
+			}
+			if y[i] >= domain {
+				y[i] = domain - 1
+			}
+		} else {
+			y[i] = rng.Int63n(domain)
+		}
+	}
+	return engine.MustNewTable("pair",
+		engine.NewIntColumn("x", x),
+		engine.NewIntColumn("y", y),
+	)
+}
+
+// ZipfCategorical generates a nominal column with numValues distinct
+// values under a Zipf(s) frequency law plus an integer column whose
+// range depends on the value's rank — the skewed-nominal workload
+// for the frequency-ordering rule of Section 4.1.
+func ZipfCategorical(n, numValues int, s float64, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1 {
+		s = 1.2
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(numValues-1))
+	cat := make([]string, n)
+	val := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rank := int64(zipf.Uint64())
+		cat[i] = fmt.Sprintf("v%02d", rank)
+		val[i] = rank*100 + rng.Int63n(100)
+	}
+	return engine.MustNewTable("zipf",
+		engine.NewStringColumn("cat", cat),
+		engine.NewIntColumn("val", val),
+	)
+}
+
+// Figure3 generates the 5-attribute table behind the Figure 3
+// execution example, with planted dependencies tuned so HB-cuts
+// reproduces the figure's grouping:
+//
+//	att2 ↔ att3  strong   (composed first)
+//	att4 ↔ att5  medium   (composed second)
+//	att1 ↔ att2,att3 weak (composed third)
+//	att1..3 ⟂ att4..5     (never composed: the figure's "No split")
+func Figure3(n int, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	const domain = 1000
+	att1 := make([]int64, n)
+	att2 := make([]int64, n)
+	att3 := make([]int64, n)
+	att4 := make([]int64, n)
+	att5 := make([]int64, n)
+	noise := func(scale int64) int64 { return rng.Int63n(2*scale+1) - scale }
+	for i := 0; i < n; i++ {
+		z1 := rng.Int63n(domain)
+		z2 := rng.Int63n(domain)
+		att2[i] = clampInt(z1+noise(60), 0, domain-1)  // strong pair
+		att3[i] = clampInt(z1+noise(60), 0, domain-1)  // strong pair
+		att1[i] = clampInt(z1+noise(420), 0, domain-1) // weak link to z1
+		att4[i] = clampInt(z2+noise(180), 0, domain-1) // medium pair
+		att5[i] = clampInt(z2+noise(180), 0, domain-1) // medium pair
+	}
+	return engine.MustNewTable("figure3",
+		engine.NewIntColumn("att1", att1),
+		engine.NewIntColumn("att2", att2),
+		engine.NewIntColumn("att3", att3),
+		engine.NewIntColumn("att4", att4),
+		engine.NewIntColumn("att5", att5),
+	)
+}
+
+// Chain generates attrs integer columns x0..x<attrs-1> forming a
+// dependency chain: x_{i+1} is x_i plus bounded noise, so every
+// adjacent pair is dependent and HB-cuts keeps composing — the
+// worst-case workload for the horizontal-scalability experiment E6.
+func Chain(n, attrs int, noise int64, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	const domain = 1000
+	cols := make([]engine.Column, attrs)
+	prev := make([]int64, n)
+	for i := range prev {
+		prev[i] = rng.Int63n(domain)
+	}
+	for a := 0; a < attrs; a++ {
+		vals := make([]int64, n)
+		copy(vals, prev)
+		cols[a] = engine.NewIntColumn(fmt.Sprintf("x%d", a), vals)
+		for i := range prev {
+			prev[i] = clampInt(prev[i]+rng.Int63n(2*noise+1)-noise, 0, domain-1)
+		}
+	}
+	return engine.MustNewTable("chain", cols...)
+}
+
+// Figure2Boats returns the 8-row literal table realizing the worked
+// examples of Figure 2: per-type tonnage medians 2000 (fluit) and
+// 3000 (jacht), per-type date medians 1744 and 1760.
+func Figure2Boats() *engine.Table {
+	return engine.MustNewTable("boats",
+		engine.NewStringColumn("type", []string{
+			"fluit", "fluit", "fluit", "fluit",
+			"jacht", "jacht", "jacht", "jacht",
+		}),
+		engine.NewIntColumn("tonnage", []int64{
+			1000, 1800, 2000, 5000,
+			1000, 2900, 3000, 5000,
+		}),
+		engine.NewIntColumn("date", []int64{
+			1700, 1740, 1744, 1780,
+			1700, 1755, 1760, 1780,
+		}),
+	)
+}
+
+func clampInt(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

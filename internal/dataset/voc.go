@@ -1,0 +1,169 @@
+// Package dataset provides deterministic synthetic data generators
+// for every workload the paper mentions or the experiments need: the
+// VOC voyages relation of Figure 1, the astronomy database of the
+// demonstration proposal, web logs (the Section 1 motivation),
+// Gaussian mixtures, independent uniforms, pairs with a tunable
+// dependence knob, Zipf-skewed nominals, and the planted-dependency
+// table behind the Figure 3 execution example. All generators are
+// pure functions of (size, seed).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"charles/internal/engine"
+)
+
+// boatClass describes one VOC ship type and the dependencies hanging
+// off it: tonnage range, speed (drives trip duration, hence
+// cape_arrival), and the harbours it typically served.
+type boatClass struct {
+	name     string
+	minTon   int64
+	maxTon   int64
+	speed    float64 // relative speed; higher = shorter trips
+	harbours []string
+	weight   int // relative frequency
+}
+
+// The two most frequent classes are the large ocean-going ships and
+// they sail from the home ports (Texel, Rammekens), while the
+// lighter classes work the Asian stations (Bantam, Surat, Batavia).
+// This alignment makes the type↔tonnage and harbour↔tonnage
+// dependencies visible to binary frequency-ordered cuts — the
+// structure behind the "departure_harbour × tonnage" answers of
+// Figure 1.
+var boatClasses = []boatClass{
+	{"fluit", 300, 600, 0.9, []string{"Texel", "Rammekens"}, 30},
+	{"spiegelretourschip", 700, 1200, 0.8, []string{"Texel", "Rammekens", "Ceylon"}, 22},
+	{"jacht", 80, 300, 1.4, []string{"Bantam", "Batavia", "Surat"}, 16},
+	{"pinas", 200, 500, 1.1, []string{"Goeree", "Batavia"}, 14},
+	{"galjoot", 60, 200, 1.0, []string{"Goeree", "Rammekens"}, 10},
+	{"hoeker", 50, 150, 1.0, []string{"Surat", "Goeree"}, 8},
+}
+
+// yards maps VOC chambers to shipyards; the yard depends on the
+// departure harbour's region, another compositional dependency.
+var yardsByHarbour = map[string][]string{
+	"Texel":     {"Amsterdam", "Hoorn", "Enkhuizen"},
+	"Rammekens": {"Zeeland", "Middelburg"},
+	"Goeree":    {"Rotterdam", "Delft"},
+	"Batavia":   {"Batavia", "Amsterdam"},
+	"Bantam":    {"Amsterdam", "Zeeland"},
+	"Surat":     {"Zeeland", "Rotterdam"},
+	"Ceylon":    {"Amsterdam", "Middelburg"},
+}
+
+var masterFirst = []string{
+	"Jan", "Pieter", "Willem", "Cornelis", "Dirck", "Hendrick", "Gerrit",
+	"Claes", "Adriaen", "Jacob", "Maerten", "Symon", "Abel", "Joris",
+}
+
+var masterLast = []string{
+	"Tasman", "de Houtman", "van Riebeeck", "Bontekoe", "van Neck",
+	"Schouten", "de Vlamingh", "Janszoon", "Hartog", "Carstensz",
+	"van Diemen", "Roggeveen", "de Ruyter", "Evertsen",
+}
+
+// VOC generates n synthetic Dutch East India Company voyages with
+// the Figure 1 schema: type_of_boat, tonnage, built, yard,
+// departure_date, departure_harbour, cape_arrival, trip, master.
+// Attribute dependencies are planted the way HB-cuts expects to find
+// them in the real data: tonnage and harbour depend on boat type,
+// yard on harbour, trip duration on tonnage and speed, cape_arrival
+// on departure_date plus trip.
+func VOC(n int, seed int64) *engine.Table {
+	rng := rand.New(rand.NewSource(seed))
+	totalWeight := 0
+	for _, bc := range boatClasses {
+		totalWeight += bc.weight
+	}
+	types := make([]string, n)
+	tonnage := make([]int64, n)
+	built := make([]int64, n)
+	yard := make([]string, n)
+	departure := make([]int64, n)
+	harbour := make([]string, n)
+	arrival := make([]int64, n)
+	trip := make([]int64, n)
+	master := make([]string, n)
+
+	epoch1602 := engine.DaysFromDate(1602, time.January, 1)
+	for i := 0; i < n; i++ {
+		bc := pickBoatClass(rng, totalWeight)
+		types[i] = bc.name
+		// Later-built ships trend larger: era adds up to 25%.
+		year := 1602 + rng.Int63n(193) // 1602..1794
+		era := float64(year-1602) / 192
+		span := float64(bc.maxTon - bc.minTon)
+		tonnage[i] = bc.minTon + int64(rng.Float64()*span*(0.75+0.25*era)+0.5)
+		built[i] = year
+		harbour[i] = bc.harbours[rng.Intn(len(bc.harbours))]
+		ys := yardsByHarbour[harbour[i]]
+		yard[i] = ys[rng.Intn(len(ys))]
+		// Departure within 40 years of build, no later than 1795.
+		depYear := year + 1 + rng.Int63n(10)
+		if depYear > 1795 {
+			depYear = 1795
+		}
+		dayOfYear := rng.Int63n(365)
+		departure[i] = epoch1602 + (depYear-1602)*365 + dayOfYear
+		// Trip to the Cape: base ~120 days, slower and heavier ships
+		// take longer; winter departures add delay.
+		base := 120 / bc.speed
+		tonFactor := float64(tonnage[i]) / 400
+		season := 1.0
+		if m := (dayOfYear / 30) % 12; m >= 9 || m <= 1 {
+			season = 1.2
+		}
+		days := base*(0.8+0.4*tonFactor)*season + rng.Float64()*30
+		trip[i] = int64(days + 0.5)
+		arrival[i] = departure[i] + trip[i]
+		master[i] = masterFirst[rng.Intn(len(masterFirst))] + " " + masterLast[rng.Intn(len(masterLast))]
+	}
+	return engine.MustNewTable("voyages",
+		engine.NewStringColumn("type_of_boat", types),
+		engine.NewIntColumn("tonnage", tonnage),
+		engine.NewIntColumn("built", built),
+		engine.NewStringColumn("yard", yard),
+		engine.NewDateColumn("departure_date", departure),
+		engine.NewStringColumn("departure_harbour", harbour),
+		engine.NewDateColumn("cape_arrival", arrival),
+		engine.NewIntColumn("trip", trip),
+		engine.NewStringColumn("master", master),
+	)
+}
+
+func pickBoatClass(rng *rand.Rand, totalWeight int) boatClass {
+	w := rng.Intn(totalWeight)
+	for _, bc := range boatClasses {
+		if w < bc.weight {
+			return bc
+		}
+		w -= bc.weight
+	}
+	return boatClasses[len(boatClasses)-1]
+}
+
+// Named returns a generator by name for the CLI tools: voc, sky,
+// weblog, gaussian, uniform, figure3.
+func Named(name string, n int, seed int64) (*engine.Table, error) {
+	switch name {
+	case "voc":
+		return VOC(n, seed), nil
+	case "sky":
+		return SkySurvey(n, seed), nil
+	case "weblog":
+		return WebLog(n, seed), nil
+	case "gaussian":
+		return GaussianMixture(n, 3, 4, seed), nil
+	case "uniform":
+		return UniformInts(n, 4, 1000, seed), nil
+	case "figure3":
+		return Figure3(n, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want voc, sky, weblog, gaussian, uniform or figure3)", name)
+	}
+}

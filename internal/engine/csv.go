@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// NullPolicy controls how the CSV loader handles empty cells. The
+// paper ignores missing values; internally columns are non-nullable
+// so Definition 3 partitions stay exact, hence the loader must
+// resolve empties at the boundary.
+type NullPolicy uint8
+
+// Loader policies for empty cells.
+const (
+	// NullReject makes the load fail on the first empty cell.
+	NullReject NullPolicy = iota
+	// NullImpute replaces empty cells with a kind-specific default:
+	// 0 for numbers, 1970-01-01 for dates, false for bools and the
+	// literal "unknown" for strings.
+	NullImpute
+)
+
+// ColumnSpec declares one column of an explicit CSV schema.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	// TableName names the resulting table; defaults to "csv".
+	TableName string
+	// Schema, when non-nil, overrides type inference. Names must
+	// match the header.
+	Schema []ColumnSpec
+	// Nulls selects the empty-cell policy (default NullReject).
+	Nulls NullPolicy
+	// Comma is the field separator (default ',').
+	Comma rune
+}
+
+// ReadCSV loads a headered CSV stream into a columnar table. Without
+// an explicit schema, each column's kind is inferred from its values
+// in order of preference: int, date (YYYY-MM-DD), float, bool,
+// string. An empty input (header only) is an error: Charles needs
+// rows to advise on.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading csv header: %w", err)
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading csv rows: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("engine: csv has no data rows")
+	}
+	name := opts.TableName
+	if name == "" {
+		name = "csv"
+	}
+	kinds := make([]Kind, len(header))
+	if opts.Schema != nil {
+		if len(opts.Schema) != len(header) {
+			return nil, fmt.Errorf("engine: schema has %d columns, csv has %d", len(opts.Schema), len(header))
+		}
+		for i, spec := range opts.Schema {
+			if spec.Name != strings.TrimSpace(header[i]) {
+				return nil, fmt.Errorf("engine: schema column %d is %q, header says %q", i, spec.Name, header[i])
+			}
+			kinds[i] = spec.Kind
+		}
+	} else {
+		for i := range header {
+			kinds[i] = inferKind(records, i)
+		}
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		col, err := buildColumn(strings.TrimSpace(h), kinds[i], records, i, opts.Nulls)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return NewTable(name, cols...)
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string, opts CSVOptions) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.TableName == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		opts.TableName = strings.TrimSuffix(base, ".csv")
+	}
+	return ReadCSV(f, opts)
+}
+
+func inferKind(records [][]string, col int) Kind {
+	couldInt, couldDate, couldFloat, couldBool := true, true, true, true
+	sawValue := false
+	for _, rec := range records {
+		cell := strings.TrimSpace(rec[col])
+		if cell == "" {
+			continue // null cells don't vote
+		}
+		sawValue = true
+		if couldInt {
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				couldInt = false
+			}
+		}
+		if couldDate {
+			if _, err := ParseDays(cell); err != nil {
+				couldDate = false
+			}
+		}
+		if couldFloat {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				couldFloat = false
+			}
+		}
+		if couldBool {
+			if cell != "true" && cell != "false" {
+				couldBool = false
+			}
+		}
+		if !couldInt && !couldDate && !couldFloat && !couldBool {
+			return KindString
+		}
+	}
+	switch {
+	case !sawValue:
+		return KindString
+	case couldInt:
+		return KindInt
+	case couldDate:
+		return KindDate
+	case couldFloat:
+		return KindFloat
+	case couldBool:
+		return KindBool
+	default:
+		return KindString
+	}
+}
+
+func buildColumn(name string, kind Kind, records [][]string, col int, nulls NullPolicy) (Column, error) {
+	cellErr := func(row int, cell string, err error) error {
+		return fmt.Errorf("engine: csv row %d column %q: bad %s %q: %v", row+2, name, kind, cell, err)
+	}
+	switch kind {
+	case KindInt:
+		vals := make([]int64, len(records))
+		for r, rec := range records {
+			cell := strings.TrimSpace(rec[col])
+			if cell == "" {
+				if nulls == NullReject {
+					return nil, fmt.Errorf("engine: csv row %d column %q: empty cell", r+2, name)
+				}
+				continue
+			}
+			v, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return nil, cellErr(r, cell, err)
+			}
+			vals[r] = v
+		}
+		return NewIntColumn(name, vals), nil
+	case KindDate:
+		vals := make([]int64, len(records))
+		for r, rec := range records {
+			cell := strings.TrimSpace(rec[col])
+			if cell == "" {
+				if nulls == NullReject {
+					return nil, fmt.Errorf("engine: csv row %d column %q: empty cell", r+2, name)
+				}
+				continue
+			}
+			v, err := ParseDays(cell)
+			if err != nil {
+				return nil, cellErr(r, cell, err)
+			}
+			vals[r] = v
+		}
+		return NewDateColumn(name, vals), nil
+	case KindFloat:
+		vals := make([]float64, len(records))
+		for r, rec := range records {
+			cell := strings.TrimSpace(rec[col])
+			if cell == "" {
+				if nulls == NullReject {
+					return nil, fmt.Errorf("engine: csv row %d column %q: empty cell", r+2, name)
+				}
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, cellErr(r, cell, err)
+			}
+			vals[r] = v
+		}
+		return NewFloatColumn(name, vals), nil
+	case KindBool:
+		vals := make([]bool, len(records))
+		for r, rec := range records {
+			cell := strings.TrimSpace(rec[col])
+			if cell == "" {
+				if nulls == NullReject {
+					return nil, fmt.Errorf("engine: csv row %d column %q: empty cell", r+2, name)
+				}
+				continue
+			}
+			switch cell {
+			case "true":
+				vals[r] = true
+			case "false":
+				vals[r] = false
+			default:
+				return nil, cellErr(r, cell, fmt.Errorf("not a bool"))
+			}
+		}
+		return NewBoolColumn(name, vals), nil
+	case KindString:
+		vals := make([]string, len(records))
+		for r, rec := range records {
+			cell := strings.TrimSpace(rec[col])
+			if cell == "" {
+				if nulls == NullReject {
+					return nil, fmt.Errorf("engine: csv row %d column %q: empty cell", r+2, name)
+				}
+				cell = "unknown"
+			}
+			vals[r] = cell
+		}
+		return NewStringColumn(name, vals), nil
+	default:
+		return nil, fmt.Errorf("engine: cannot build column of kind %v", kind)
+	}
+}
+
+// WriteCSV writes the table as headered CSV, rendering values the
+// way Value.String does (dates as YYYY-MM-DD).
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for row := 0; row < t.NumRows(); row++ {
+		for c, col := range t.Columns() {
+			rec[c] = col.Value(row).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV over a file path.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

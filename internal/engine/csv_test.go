@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `type,tonnage,speed,departure,armed,master
+fluit,300,4.5,1650-03-15,true,Jan
+jacht,120,7.2,1651-07-01,false,Piet
+fluit,280,4.8,1652-01-20,true,Klaas
+`
+
+func TestReadCSVInference(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{TableName: "voyages"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "voyages" || tab.NumRows() != 3 || tab.NumCols() != 6 {
+		t.Fatalf("shape = %s %d x %d", tab.Name(), tab.NumRows(), tab.NumCols())
+	}
+	wantKinds := map[string]Kind{
+		"type": KindString, "tonnage": KindInt, "speed": KindFloat,
+		"departure": KindDate, "armed": KindBool, "master": KindString,
+	}
+	for name, kind := range wantKinds {
+		c, ok := tab.ColumnByName(name)
+		if !ok || c.Kind() != kind {
+			t.Errorf("column %q kind = %v, want %v", name, c.Kind(), kind)
+		}
+	}
+	if got := tab.MustColumn("departure").Value(0).String(); got != "1650-03-15" {
+		t.Errorf("date value = %q", got)
+	}
+	if got := tab.MustColumn("tonnage").Value(2).AsInt(); got != 280 {
+		t.Errorf("tonnage = %d", got)
+	}
+}
+
+func TestReadCSVExplicitSchema(t *testing.T) {
+	// Force tonnage to float despite int-looking values.
+	schema := []ColumnSpec{
+		{"type", KindString}, {"tonnage", KindFloat}, {"speed", KindFloat},
+		{"departure", KindDate}, {"armed", KindBool}, {"master", KindString},
+	}
+	tab, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.MustColumn("tonnage").Kind() != KindFloat {
+		t.Fatal("schema override ignored")
+	}
+}
+
+func TestReadCSVSchemaMismatch(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		Schema: []ColumnSpec{{"wrong", KindString}},
+	}); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	schema := []ColumnSpec{
+		{"oops", KindString}, {"tonnage", KindInt}, {"speed", KindFloat},
+		{"departure", KindDate}, {"armed", KindBool}, {"master", KindString},
+	}
+	if _, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Schema: schema}); err == nil {
+		t.Fatal("misnamed schema column accepted")
+	}
+}
+
+func TestReadCSVNullPolicies(t *testing.T) {
+	withNulls := "a,b\n1,x\n,y\n"
+	if _, err := ReadCSV(strings.NewReader(withNulls), CSVOptions{}); err == nil {
+		t.Fatal("NullReject accepted an empty cell")
+	}
+	tab, err := ReadCSV(strings.NewReader(withNulls), CSVOptions{Nulls: NullImpute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.MustColumn("a").Value(1).AsInt(); got != 0 {
+		t.Fatalf("imputed int = %d, want 0", got)
+	}
+	strNulls := "s,n\nx,1\n,2\n" // empty string cell is a null
+	tab, err = ReadCSV(strings.NewReader(strNulls), CSVOptions{Nulls: NullImpute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.MustColumn("s").Value(1).AsString(); got != "unknown" {
+		t.Fatalf("imputed string = %q, want unknown", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{}); err == nil {
+		t.Fatal("header-only input accepted")
+	}
+	bad := "a\n1\nx\n"
+	tab, err := ReadCSV(strings.NewReader(bad), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.MustColumn("a").Kind() != KindString {
+		t.Fatal("mixed column should fall back to string")
+	}
+	// Explicit schema with unparseable cell must fail loudly.
+	if _, err := ReadCSV(strings.NewReader(bad), CSVOptions{
+		Schema: []ColumnSpec{{"a", KindInt}},
+	}); err == nil {
+		t.Fatal("unparseable int accepted under explicit schema")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatal("round trip changed shape")
+	}
+	for c := 0; c < tab.NumCols(); c++ {
+		for r := 0; r < tab.NumRows(); r++ {
+			a, b := tab.Column(c).Value(r), back.Column(c).Value(r)
+			if !a.Equal(b) {
+				t.Fatalf("round trip changed cell (%d,%d): %v vs %v", r, c, a, b)
+			}
+		}
+	}
+}
+
+func TestReadWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "boats.csv")
+	tab, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVFile(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "boats" {
+		t.Fatalf("table name from path = %q, want boats", back.Name())
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", back.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv"), CSVOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

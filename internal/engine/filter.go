@@ -1,0 +1,162 @@
+package engine
+
+// Range bounds for filters: lo/hi with independent inclusivity, the
+// shape Definition 5 cuts produce ([min,med[ and [med,max]).
+type IntRange struct {
+	Lo, Hi         int64
+	LoIncl, HiIncl bool
+}
+
+// Contains reports whether v falls inside the range.
+func (r IntRange) Contains(v int64) bool {
+	if v < r.Lo || (v == r.Lo && !r.LoIncl) {
+		return false
+	}
+	if v > r.Hi || (v == r.Hi && !r.HiIncl) {
+		return false
+	}
+	return true
+}
+
+// FloatRange is IntRange over float64.
+type FloatRange struct {
+	Lo, Hi         float64
+	LoIncl, HiIncl bool
+}
+
+// Contains reports whether v falls inside the range.
+func (r FloatRange) Contains(v float64) bool {
+	if v < r.Lo || (v == r.Lo && !r.LoIncl) {
+		return false
+	}
+	if v > r.Hi || (v == r.Hi && !r.HiIncl) {
+		return false
+	}
+	return true
+}
+
+// FilterIntRange narrows sel to rows whose column value lies in r.
+func FilterIntRange(col IntValued, sel Selection, r IntRange) Selection {
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		if r.Contains(col.Int64(int(row))) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FilterFloatRange narrows sel to rows whose column value lies in r.
+func FilterFloatRange(col FloatValued, sel Selection, r FloatRange) Selection {
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		if r.Contains(col.Float64(int(row))) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FilterStringSet narrows sel to rows whose string value is one of
+// values. Membership is tested on dictionary codes: one map lookup
+// per distinct value, then a dense code probe per row.
+func FilterStringSet(col *StringColumn, sel Selection, values []string) Selection {
+	if len(values) == 0 {
+		return Selection{}
+	}
+	want := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		if code, ok := col.CodeOf(v); ok {
+			want[code] = struct{}{}
+		}
+	}
+	if len(want) == 0 {
+		return Selection{}
+	}
+	out := make(Selection, 0, len(sel))
+	codes := col.Codes()
+	for _, row := range sel {
+		if _, ok := want[codes[row]]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FilterIntSet narrows sel to rows whose int64 value appears in
+// values (set constraints on integer or date columns).
+func FilterIntSet(col IntValued, sel Selection, values []int64) Selection {
+	if len(values) == 0 {
+		return Selection{}
+	}
+	want := make(map[int64]struct{}, len(values))
+	for _, v := range values {
+		want[v] = struct{}{}
+	}
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		if _, ok := want[col.Int64(int(row))]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FilterFloatSet narrows sel to rows whose float64 value appears in
+// values (set constraints on float columns).
+func FilterFloatSet(col FloatValued, sel Selection, values []float64) Selection {
+	if len(values) == 0 {
+		return Selection{}
+	}
+	want := make(map[float64]struct{}, len(values))
+	for _, v := range values {
+		want[v] = struct{}{}
+	}
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		if _, ok := want[col.Float64(int(row))]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FilterStringRange narrows sel to rows whose string value lies in
+// the lexicographic interval [lo, hi] with the given inclusivity.
+// SDL never generates string ranges from cuts, but users may type
+// them; this is the completeness path.
+func FilterStringRange(col *StringColumn, sel Selection, lo, hi string, loIncl, hiIncl bool) Selection {
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		v := col.Str(int(row))
+		if v < lo || (v == lo && !loIncl) {
+			continue
+		}
+		if v > hi || (v == hi && !hiIncl) {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FilterBoolSet narrows sel to rows whose boolean value appears in
+// values (a one- or two-element set).
+func FilterBoolSet(col *BoolColumn, sel Selection, values []bool) Selection {
+	var wantTrue, wantFalse bool
+	for _, v := range values {
+		if v {
+			wantTrue = true
+		} else {
+			wantFalse = true
+		}
+	}
+	out := make(Selection, 0, len(sel))
+	for _, row := range sel {
+		v := col.Bool(int(row))
+		if (v && wantTrue) || (!v && wantFalse) {
+			out = append(out, row)
+		}
+	}
+	return out
+}

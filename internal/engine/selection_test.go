@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllRows(t *testing.T) {
+	s := AllRows(5)
+	if len(s) != 5 || s[0] != 0 || s[4] != 4 || !s.IsSorted() {
+		t.Fatalf("AllRows(5) = %v", s)
+	}
+	if s := AllRows(0); len(s) != 0 {
+		t.Fatalf("AllRows(0) = %v", s)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Selection{1, 3, 5, 7, 9}
+	b := Selection{2, 3, 4, 7, 10}
+	got := Intersect(a, b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Intersect = %v, want [3 7]", got)
+	}
+	if n := IntersectCount(a, b); n != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", n)
+	}
+	if got := Intersect(a, Selection{}); len(got) != 0 {
+		t.Fatalf("Intersect with empty = %v", got)
+	}
+}
+
+func TestIntersectCommutesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSelection(rng, 200)
+		b := randomSelection(rng, 200)
+		ab := Intersect(a, b)
+		ba := Intersect(b, a)
+		if len(ab) != len(ba) || len(ab) != IntersectCount(a, b) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		return ab.IsSorted() || len(ab) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSelection(rng, 300)
+		// a ∩ a == a, and a ∩ all == a.
+		if IntersectCount(a, a) != len(a) {
+			return false
+		}
+		all := AllRows(400)
+		got := Intersect(a, all)
+		if len(got) != len(a) {
+			return false
+		}
+		for i := range got {
+			if got[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSelection(rng *rand.Rand, universe int) Selection {
+	out := Selection{}
+	for i := 0; i < universe; i++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestSelectionClone(t *testing.T) {
+	a := Selection{1, 2, 3}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliased its input")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !(Selection{}).IsSorted() || !(Selection{1}).IsSorted() || !(Selection{1, 2}).IsSorted() {
+		t.Fatal("sorted selections misreported")
+	}
+	if (Selection{2, 1}).IsSorted() || (Selection{1, 1}).IsSorted() {
+		t.Fatal("unsorted/duplicated selections misreported")
+	}
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"charles/internal/stats"
+)
+
+// GatherInt materializes the int64 values of col at the selected
+// rows. Works for integer and date columns alike.
+func GatherInt(col IntValued, sel Selection) []int64 {
+	out := make([]int64, len(sel))
+	for i, row := range sel {
+		out[i] = col.Int64(int(row))
+	}
+	return out
+}
+
+// GatherFloat materializes the float64 values of col at the selected
+// rows.
+func GatherFloat(col FloatValued, sel Selection) []float64 {
+	out := make([]float64, len(sel))
+	for i, row := range sel {
+		out[i] = col.Float64(int(row))
+	}
+	return out
+}
+
+// IntMinMax returns the minimum and maximum of col over sel. ok is
+// false when the selection is empty.
+func IntMinMax(col IntValued, sel Selection) (min, max int64, ok bool) {
+	if len(sel) == 0 {
+		return 0, 0, false
+	}
+	min = col.Int64(int(sel[0]))
+	max = min
+	for _, row := range sel[1:] {
+		v := col.Int64(int(row))
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// FloatMinMax returns the minimum and maximum of col over sel. ok is
+// false when the selection is empty.
+func FloatMinMax(col FloatValued, sel Selection) (min, max float64, ok bool) {
+	if len(sel) == 0 {
+		return 0, 0, false
+	}
+	min = col.Float64(int(sel[0]))
+	max = min
+	for _, row := range sel[1:] {
+		v := col.Float64(int(row))
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// IntMedian returns the upper median of col over sel (the Definition
+// 5 cut point). ok is false when the selection is empty.
+func IntMedian(col IntValued, sel Selection) (int64, bool) {
+	if len(sel) == 0 {
+		return 0, false
+	}
+	return stats.MedianInt64(GatherInt(col, sel)), true
+}
+
+// FloatMedian returns the upper median of col over sel. ok is false
+// when the selection is empty.
+func FloatMedian(col FloatValued, sel Selection) (float64, bool) {
+	if len(sel) == 0 {
+		return 0, false
+	}
+	return stats.MedianFloat64(GatherFloat(col, sel)), true
+}
+
+// IntCutPoints returns up to arity−1 strictly increasing equi-depth
+// cut points of col over sel (Section 5.2's quantile generalization;
+// arity 2 is the paper's median cut).
+func IntCutPoints(col IntValued, sel Selection, arity int) []int64 {
+	if len(sel) == 0 {
+		return nil
+	}
+	return stats.EquiDepthPoints(GatherInt(col, sel), arity)
+}
+
+// FloatCutPoints is IntCutPoints for float columns.
+func FloatCutPoints(col FloatValued, sel Selection, arity int) []float64 {
+	if len(sel) == 0 {
+		return nil
+	}
+	return stats.EquiDepthPointsFloat64(GatherFloat(col, sel), arity)
+}
+
+// StringValueCounts returns the per-value frequencies of col over
+// sel, unordered. The seg layer orders them by frequency or
+// alphabetically per the paper's nominal-median rule.
+func StringValueCounts(col *StringColumn, sel Selection) []stats.ValueCount {
+	counts := make([]int, col.Cardinality())
+	codes := col.Codes()
+	for _, row := range sel {
+		counts[codes[row]]++
+	}
+	out := make([]stats.ValueCount, 0, len(counts))
+	for code, n := range counts {
+		if n > 0 {
+			out = append(out, stats.ValueCount{Value: col.DictValue(uint32(code)), Count: n})
+		}
+	}
+	return out
+}
+
+// BoolValueCounts returns frequencies of "false"/"true" over sel,
+// letting bool columns participate in nominal cuts.
+func BoolValueCounts(col *BoolColumn, sel Selection) []stats.ValueCount {
+	var nTrue, nFalse int
+	for _, row := range sel {
+		if col.Bool(int(row)) {
+			nTrue++
+		} else {
+			nFalse++
+		}
+	}
+	out := make([]stats.ValueCount, 0, 2)
+	if nFalse > 0 {
+		out = append(out, stats.ValueCount{Value: "false", Count: nFalse})
+	}
+	if nTrue > 0 {
+		out = append(out, stats.ValueCount{Value: "true", Count: nTrue})
+	}
+	return out
+}
+
+// DistinctCount returns the number of distinct values of col over
+// sel. For string columns it counts live dictionary codes; for other
+// kinds it hashes raw payloads.
+func DistinctCount(col Column, sel Selection) int {
+	switch c := col.(type) {
+	case *StringColumn:
+		seen := make([]bool, c.Cardinality())
+		n := 0
+		codes := c.Codes()
+		for _, row := range sel {
+			if !seen[codes[row]] {
+				seen[codes[row]] = true
+				n++
+			}
+		}
+		return n
+	case *BoolColumn:
+		var sawTrue, sawFalse bool
+		for _, row := range sel {
+			if c.Bool(int(row)) {
+				sawTrue = true
+			} else {
+				sawFalse = true
+			}
+			if sawTrue && sawFalse {
+				return 2
+			}
+		}
+		if sawTrue || sawFalse {
+			return 1
+		}
+		return 0
+	case IntValued:
+		seen := make(map[int64]struct{}, 64)
+		for _, row := range sel {
+			seen[c.Int64(int(row))] = struct{}{}
+		}
+		return len(seen)
+	case FloatValued:
+		seen := make(map[float64]struct{}, 64)
+		for _, row := range sel {
+			seen[c.Float64(int(row))] = struct{}{}
+		}
+		return len(seen)
+	default:
+		seen := make(map[string]struct{}, 64)
+		for _, row := range sel {
+			seen[col.Value(int(row)).String()] = struct{}{}
+		}
+		return len(seen)
+	}
+}
+
+// FloatMeanVar returns the mean and population variance of col over
+// sel (used by the homogeneity proxy in the baseline comparison).
+// ok is false when the selection is empty.
+func FloatMeanVar(col FloatValued, sel Selection) (mean, variance float64, ok bool) {
+	if len(sel) == 0 {
+		return 0, 0, false
+	}
+	for _, row := range sel {
+		mean += col.Float64(int(row))
+	}
+	mean /= float64(len(sel))
+	for _, row := range sel {
+		d := col.Float64(int(row)) - mean
+		variance += d * d
+	}
+	variance /= float64(len(sel))
+	return mean, variance, true
+}

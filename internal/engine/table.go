@@ -1,0 +1,93 @@
+package engine
+
+import "fmt"
+
+// Table is one immutable relation: a set of equal-length columns
+// with unique names. Charles restricts itself to a single relation
+// (Section 2), so the table is the whole database as far as the
+// advisor is concerned.
+type Table struct {
+	name   string
+	cols   []Column
+	byName map[string]int
+	rows   int
+}
+
+// NewTable builds a table from columns, validating that names are
+// unique and non-empty and that all columns have the same length.
+func NewTable(name string, cols ...Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: table %q has no columns", name)
+	}
+	t := &Table{name: name, cols: cols, byName: make(map[string]int, len(cols))}
+	t.rows = cols[0].Len()
+	for i, c := range cols {
+		if err := validateColumn(c); err != nil {
+			return nil, err
+		}
+		if c.Len() != t.rows {
+			return nil, fmt.Errorf("engine: column %q has %d rows, want %d", c.Name(), c.Len(), t.rows)
+		}
+		if _, dup := t.byName[c.Name()]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %q", c.Name())
+		}
+		t.byName[c.Name()] = i
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error, for tests and
+// generators whose schemas are static.
+func MustNewTable(name string, cols ...Column) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the column list in declaration order.
+func (t *Table) Columns() []Column { return t.cols }
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) Column { return t.cols[i] }
+
+// ColumnByName looks a column up by name.
+func (t *Table) ColumnByName(name string) (Column, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return t.cols[i], true
+}
+
+// MustColumn returns the named column or panics; for callers that
+// have already validated the schema.
+func (t *Table) MustColumn(name string) Column {
+	c, ok := t.ColumnByName(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: no column %q in table %q", name, t.name))
+	}
+	return c
+}
+
+// All returns a selection covering every row of the table.
+func (t *Table) All() Selection { return AllRows(t.rows) }

@@ -1,0 +1,115 @@
+package engine
+
+import "testing"
+
+func smallTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("boats",
+		NewStringColumn("type", []string{"fluit", "jacht", "fluit", "pinas"}),
+		NewIntColumn("tonnage", []int64{300, 120, 280, 200}),
+		NewFloatColumn("speed", []float64{4.5, 7.2, 4.8, 5.9}),
+		NewDateColumn("built", []int64{-110000, -109000, -108000, -107000}),
+		NewBoolColumn("armed", []bool{true, false, true, true}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("empty"); err == nil {
+		t.Error("table with no columns accepted")
+	}
+	if _, err := NewTable("bad",
+		NewIntColumn("a", []int64{1, 2}),
+		NewIntColumn("b", []int64{1, 2, 3}),
+	); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if _, err := NewTable("dup",
+		NewIntColumn("a", []int64{1}),
+		NewIntColumn("a", []int64{2}),
+	); err == nil {
+		t.Error("duplicate column names accepted")
+	}
+	if _, err := NewTable("anon", NewIntColumn("", []int64{1})); err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := smallTable(t)
+	if tab.Name() != "boats" || tab.NumRows() != 4 || tab.NumCols() != 5 {
+		t.Fatalf("basic accessors wrong: %s %d %d", tab.Name(), tab.NumRows(), tab.NumCols())
+	}
+	names := tab.ColumnNames()
+	if names[0] != "type" || names[4] != "armed" {
+		t.Fatalf("column names wrong: %v", names)
+	}
+	if c, ok := tab.ColumnByName("tonnage"); !ok || c.Kind() != KindInt {
+		t.Fatal("ColumnByName(tonnage) failed")
+	}
+	if _, ok := tab.ColumnByName("nope"); ok {
+		t.Fatal("ColumnByName found a phantom column")
+	}
+	if got := tab.All(); len(got) != 4 || !got.IsSorted() {
+		t.Fatalf("All() = %v", got)
+	}
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	tab := smallTable(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColumn on missing column did not panic")
+		}
+	}()
+	tab.MustColumn("missing")
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewTable on bad input did not panic")
+		}
+	}()
+	MustNewTable("bad")
+}
+
+func TestColumnValues(t *testing.T) {
+	tab := smallTable(t)
+	sc := tab.MustColumn("type").(*StringColumn)
+	if sc.Str(0) != "fluit" || sc.Str(3) != "pinas" {
+		t.Fatal("string decode broken")
+	}
+	if sc.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", sc.Cardinality())
+	}
+	if code, ok := sc.CodeOf("jacht"); !ok || sc.DictValue(code) != "jacht" {
+		t.Fatal("dictionary lookup broken")
+	}
+	if _, ok := sc.CodeOf("galjoot"); ok {
+		t.Fatal("CodeOf found a phantom value")
+	}
+	// Same string must share one code (dictionary encoding).
+	if sc.Code(0) != sc.Code(2) {
+		t.Fatal("duplicate strings got different codes")
+	}
+	ic := tab.MustColumn("tonnage").(*IntColumn)
+	if ic.Int64(1) != 120 || ic.Value(1).AsInt() != 120 {
+		t.Fatal("int access broken")
+	}
+	fc := tab.MustColumn("speed").(*FloatColumn)
+	if fc.Float64(2) != 4.8 {
+		t.Fatal("float access broken")
+	}
+	bc := tab.MustColumn("armed").(*BoolColumn)
+	if bc.Bool(1) || !bc.Bool(0) {
+		t.Fatal("bool access broken")
+	}
+	dc := tab.MustColumn("built").(*DateColumn)
+	if dc.Int64(0) != -110000 || dc.Value(0).Kind() != KindDate {
+		t.Fatal("date access broken")
+	}
+}

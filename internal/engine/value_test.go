@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt: "int", KindFloat: "float", KindString: "string",
+		KindDate: "date", KindBool: "bool", KindInvalid: "invalid",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindDate, KindBool} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("decimal"); err == nil {
+		t.Error("ParseKind accepted unknown kind")
+	}
+}
+
+func TestKindNumeric(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		KindInt: true, KindFloat: true, KindDate: true,
+		KindString: false, KindBool: false,
+	} {
+		if k.Numeric() != want {
+			t.Errorf("%v.Numeric() = %v, want %v", k, k.Numeric(), want)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 || v.AsFloat() != 42 {
+		t.Error("Int value broken")
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Error("Float value broken")
+	}
+	if v := String_("jacht"); v.Kind() != KindString || v.AsString() != "jacht" {
+		t.Error("String value broken")
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Error("Bool value broken")
+	}
+	if v := Date(0); v.Kind() != KindDate || v.String() != "1970-01-01" {
+		t.Errorf("Date(0) = %q, want 1970-01-01", v.String())
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(2).Compare(Int(2)) != 0 {
+		t.Error("int compare broken")
+	}
+	if String_("a").Compare(String_("b")) != -1 {
+		t.Error("string compare broken")
+	}
+	// Numeric kinds interoperate.
+	if Int(3).Compare(Float(3.5)) != -1 {
+		t.Error("int/float compare broken")
+	}
+	if Date(10).Compare(Int(10)) != 0 {
+		t.Error("date/int compare broken")
+	}
+}
+
+func TestValueComparePanicsOnMixedString(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic comparing string with int")
+		}
+	}()
+	String_("a").Compare(Int(1))
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("int equality broken")
+	}
+	if Int(5).Equal(Float(5)) {
+		t.Error("cross-kind values must not be equal")
+	}
+	if !String_("x").Equal(String_("x")) {
+		t.Error("string equality broken")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(1.25), "1.25"},
+		{String_("fluit"), "fluit"},
+		{Bool(false), "false"},
+		{Date(DaysFromDate(1650, time.March, 15)), "1650-03-15"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for _, s := range []string{"1602-03-20", "1970-01-01", "2026-06-10", "1799-12-31"} {
+		days, err := ParseDays(s)
+		if err != nil {
+			t.Fatalf("ParseDays(%q): %v", s, err)
+		}
+		if got := FormatDays(days); got != s {
+			t.Errorf("round trip %q -> %d -> %q", s, days, got)
+		}
+	}
+	if _, err := ParseDays("20-03-1602"); err == nil {
+		t.Error("ParseDays accepted non-ISO date")
+	}
+}
+
+func TestDaysFromDateEpoch(t *testing.T) {
+	if d := DaysFromDate(1970, time.January, 1); d != 0 {
+		t.Fatalf("epoch days = %d, want 0", d)
+	}
+	if d := DaysFromDate(1970, time.January, 2); d != 1 {
+		t.Fatalf("epoch+1 days = %d, want 1", d)
+	}
+}

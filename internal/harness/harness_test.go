@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs every experiment at a small scale; this is both the
+// correctness test of the harness and a smoke test of the full
+// pipeline.
+var quick = Options{Scale: 0.02, Seed: 1}
+
+func TestExperimentsList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 12 || ids[0] != "E1" || ids[11] != "E12" {
+		t.Fatalf("experiments = %v", ids)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99", quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllProducesTables(t *testing.T) {
+	tables, err := RunAll(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 12 {
+		t.Fatalf("tables = %d, want ≥ 12 (E7 and E9 emit two)", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || tab.Expectation == "" {
+			t.Fatalf("table %q lacks metadata", tab.Title)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %s: row width %d != header %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+		md := tab.Markdown()
+		if !strings.Contains(md, "### "+tab.ID) || !strings.Contains(md, "|") {
+			t.Fatalf("markdown for %s malformed", tab.ID)
+		}
+	}
+}
+
+func TestE3TraceMatchesFigure(t *testing.T) {
+	tables, err := Run("E3", Options{Scale: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tables[0]
+	if len(tr.Rows) != 3 {
+		t.Fatalf("trace rows = %d, want 3 compositions", len(tr.Rows))
+	}
+	wantPairs := []string{"att2+att3", "att4+att5", "att1+att2+att3"}
+	for i, row := range tr.Rows {
+		if !strings.Contains(row[1], wantPairs[i][strings.LastIndex(wantPairs[i], "+")+1:]) {
+			t.Fatalf("trace step %d = %q", i, row[1])
+		}
+	}
+	if !strings.Contains(tr.Finding, "8 segmentations") {
+		t.Fatalf("finding = %q", tr.Finding)
+	}
+}
+
+func TestE5IndepMonotone(t *testing.T) {
+	tables, err := Run("E5", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	prev := 2.0
+	for _, row := range rows {
+		ind, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ind > prev+0.02 {
+			t.Fatalf("INDEP not (weakly) decreasing: %v", rows)
+		}
+		prev = ind
+	}
+	first, _ := strconv.ParseFloat(rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if first < 0.98 || last > 0.9 {
+		t.Fatalf("INDEP endpoints: %v .. %v", first, last)
+	}
+}
+
+func TestE10MiddleThird(t *testing.T) {
+	tables, err := Run("E10", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arity3 []string
+	for _, row := range tables[0].Rows {
+		if row[0] == "3" {
+			arity3 = row
+		}
+	}
+	if arity3 == nil || arity3[3] != "yes" {
+		t.Fatalf("arity-3 row = %v", arity3)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, quick, "E2", "E12"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### E2") || !strings.Contains(out, "### E12") {
+		t.Fatalf("report = %q", out[:200])
+	}
+	if strings.Contains(out, "### E1 ") {
+		t.Fatal("report ran experiments it was not asked for")
+	}
+	if err := WriteReport(&buf, quick, "bogus"); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if got := (Options{Scale: 0.001}).rows(1000); got != 64 {
+		t.Fatalf("rows floor = %d", got)
+	}
+	if got := (Options{Scale: 2}).rows(1000); got != 2000 {
+		t.Fatalf("rows scale = %d", got)
+	}
+}

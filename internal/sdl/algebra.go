@@ -1,0 +1,125 @@
+package sdl
+
+import (
+	"fmt"
+
+	"charles/internal/engine"
+)
+
+// IntersectConstraints returns the conjunction of two predicates on
+// the same attribute as a single predicate. The boolean is false
+// when the conjunction is provably empty (the SDL product of
+// Definition 8 then yields an empty segment). Intersecting with Any
+// returns the other predicate unchanged.
+func IntersectConstraints(a, b Constraint) (Constraint, bool, error) {
+	if a.Attr != b.Attr {
+		return Constraint{}, false, fmt.Errorf("sdl: intersecting constraints on %q and %q", a.Attr, b.Attr)
+	}
+	switch {
+	case a.IsAny():
+		return b, true, nil
+	case b.IsAny():
+		return a, true, nil
+	case a.Kind == KindRange && b.Kind == KindRange:
+		r, ok := intersectRanges(a.Range, b.Range)
+		if !ok {
+			return Constraint{}, false, nil
+		}
+		return Constraint{Attr: a.Attr, Kind: KindRange, Range: r}, true, nil
+	case a.Kind == KindSet && b.Kind == KindSet:
+		set := intersectSets(a.Set, b.Set)
+		if len(set) == 0 {
+			return Constraint{}, false, nil
+		}
+		return Constraint{Attr: a.Attr, Kind: KindSet, Set: set}, true, nil
+	case a.Kind == KindSet && b.Kind == KindRange:
+		return filterSetByRange(a, b.Range)
+	case a.Kind == KindRange && b.Kind == KindSet:
+		return filterSetByRange(b, a.Range)
+	default:
+		return Constraint{}, false, fmt.Errorf("sdl: cannot intersect %v with %v", a.Kind, b.Kind)
+	}
+}
+
+func intersectRanges(a, b Range) (Range, bool) {
+	out := a
+	if c := b.Lo.Compare(a.Lo); c > 0 {
+		out.Lo, out.LoIncl = b.Lo, b.LoIncl
+	} else if c == 0 {
+		out.LoIncl = a.LoIncl && b.LoIncl
+	}
+	if c := b.Hi.Compare(a.Hi); c < 0 {
+		out.Hi, out.HiIncl = b.Hi, b.HiIncl
+	} else if c == 0 {
+		out.HiIncl = a.HiIncl && b.HiIncl
+	}
+	if out.Empty() {
+		return Range{}, false
+	}
+	return out, true
+}
+
+func intersectSets(a, b []engine.Value) []engine.Value {
+	// Both canonical (sorted): merge walk.
+	out := make([]engine.Value, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case valueLess(a[i], b[j]):
+			i++
+		case valueLess(b[j], a[i]):
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func filterSetByRange(set Constraint, r Range) (Constraint, bool, error) {
+	out := make([]engine.Value, 0, len(set.Set))
+	for _, v := range set.Set {
+		if r.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return Constraint{}, false, nil
+	}
+	return Constraint{Attr: set.Attr, Kind: KindSet, Set: out}, true, nil
+}
+
+// Conjoin returns the conjunction of two queries: predicates on
+// distinct attributes are concatenated, predicates on shared
+// attributes are intersected. The boolean is false when any shared
+// predicate intersects to empty — the query provably selects no
+// rows. This implements the query pairing (Q1i, Q2j) of the SDL
+// product (Definition 8).
+func Conjoin(a, b Query) (Query, bool, error) {
+	out := a
+	for _, cb := range b.Constraints() {
+		ca, ok := out.Constraint(cb.Attr)
+		if !ok {
+			out = out.WithConstraint(cb)
+			continue
+		}
+		merged, nonEmpty, err := IntersectConstraints(ca, cb)
+		if err != nil {
+			return Query{}, false, err
+		}
+		if !nonEmpty {
+			return Query{}, false, nil
+		}
+		out = out.WithConstraint(merged)
+	}
+	return out, true, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

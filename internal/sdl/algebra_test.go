@@ -1,0 +1,143 @@
+package sdl
+
+import (
+	"testing"
+
+	"charles/internal/engine"
+)
+
+func TestIntersectConstraintsAny(t *testing.T) {
+	r := ClosedRange("a", engine.Int(1), engine.Int(5))
+	got, ok, err := IntersectConstraints(Any("a"), r)
+	if err != nil || !ok || got.Kind != KindRange {
+		t.Fatalf("Any ∩ Range = %v %v %v", got, ok, err)
+	}
+	got, ok, err = IntersectConstraints(r, Any("a"))
+	if err != nil || !ok || got.Kind != KindRange {
+		t.Fatalf("Range ∩ Any = %v %v %v", got, ok, err)
+	}
+}
+
+func TestIntersectConstraintsMismatchedAttr(t *testing.T) {
+	if _, _, err := IntersectConstraints(Any("a"), Any("b")); err == nil {
+		t.Fatal("cross-attribute intersection accepted")
+	}
+}
+
+func TestIntersectRanges(t *testing.T) {
+	a := RangeC("x", engine.Int(0), engine.Int(10), true, false) // [0,10)
+	b := RangeC("x", engine.Int(5), engine.Int(20), true, true)  // [5,20]
+	got, ok, err := IntersectConstraints(a, b)
+	if err != nil || !ok {
+		t.Fatalf("intersection failed: %v %v", ok, err)
+	}
+	want := Range{Lo: engine.Int(5), Hi: engine.Int(10), LoIncl: true, HiIncl: false}
+	if got.Range != want {
+		t.Fatalf("range = %+v, want %+v", got.Range, want)
+	}
+	// Disjoint ranges intersect to empty.
+	c := RangeC("x", engine.Int(11), engine.Int(20), true, true)
+	if _, ok, _ := IntersectConstraints(a, c); ok {
+		t.Fatal("disjoint ranges intersected non-empty")
+	}
+	// Touching at an excluded endpoint is empty.
+	d := RangeC("x", engine.Int(10), engine.Int(20), true, true)
+	if _, ok, _ := IntersectConstraints(a, d); ok {
+		t.Fatal("[0,10) ∩ [10,20] should be empty")
+	}
+	// Touching at an included endpoint is the point.
+	e := RangeC("x", engine.Int(0), engine.Int(5), true, true)
+	f := RangeC("x", engine.Int(5), engine.Int(9), true, true)
+	got, ok, _ = IntersectConstraints(e, f)
+	if !ok || got.Range.Lo.AsInt() != 5 || got.Range.Hi.AsInt() != 5 {
+		t.Fatalf("point intersection = %v %v", got, ok)
+	}
+}
+
+func TestIntersectRangeInclusivityAtEqualBounds(t *testing.T) {
+	a := RangeC("x", engine.Int(0), engine.Int(10), true, true)
+	b := RangeC("x", engine.Int(0), engine.Int(10), false, false)
+	got, ok, _ := IntersectConstraints(a, b)
+	if !ok || got.Range.LoIncl || got.Range.HiIncl {
+		t.Fatalf("inclusivity AND failed: %+v", got.Range)
+	}
+}
+
+func TestIntersectSets(t *testing.T) {
+	a := SetC("h", engine.String_("bantam"), engine.String_("surat"), engine.String_("zeeland"))
+	b := SetC("h", engine.String_("surat"), engine.String_("zeeland"), engine.String_("goa"))
+	got, ok, err := IntersectConstraints(a, b)
+	if err != nil || !ok || len(got.Set) != 2 {
+		t.Fatalf("set intersection = %v %v %v", got, ok, err)
+	}
+	if got.Set[0].AsString() != "surat" || got.Set[1].AsString() != "zeeland" {
+		t.Fatalf("set = %v", got.Set)
+	}
+	c := SetC("h", engine.String_("goa"))
+	if _, ok, _ := IntersectConstraints(a, c); ok {
+		t.Fatal("disjoint sets intersected non-empty")
+	}
+}
+
+func TestIntersectSetWithRange(t *testing.T) {
+	set := SetC("ton", engine.Int(100), engine.Int(200), engine.Int(300))
+	rng := RangeC("ton", engine.Int(150), engine.Int(300), true, false)
+	got, ok, err := IntersectConstraints(set, rng)
+	if err != nil || !ok || len(got.Set) != 1 || got.Set[0].AsInt() != 200 {
+		t.Fatalf("set∩range = %v %v %v", got, ok, err)
+	}
+	// Symmetric order.
+	got2, ok2, _ := IntersectConstraints(rng, set)
+	if !ok2 || len(got2.Set) != 1 || got2.Set[0].AsInt() != 200 {
+		t.Fatalf("range∩set = %v %v", got2, ok2)
+	}
+	empty := RangeC("ton", engine.Int(400), engine.Int(500), true, true)
+	if _, ok, _ := IntersectConstraints(set, empty); ok {
+		t.Fatal("set∩disjoint-range non-empty")
+	}
+}
+
+func TestConjoinDistinctAttrs(t *testing.T) {
+	a := MustQuery(ClosedRange("tonnage", engine.Int(1000), engine.Int(1150)))
+	b := MustQuery(SetC("harbour", engine.String_("bantam")))
+	got, ok, err := Conjoin(a, b)
+	if err != nil || !ok {
+		t.Fatalf("conjoin failed: %v %v", ok, err)
+	}
+	if got.NumConstraints() != 2 {
+		t.Fatalf("conjoined = %s", got)
+	}
+}
+
+func TestConjoinSharedAttr(t *testing.T) {
+	a := MustQuery(RangeC("t", engine.Int(0), engine.Int(10), true, false))
+	b := MustQuery(RangeC("t", engine.Int(5), engine.Int(15), true, true))
+	got, ok, err := Conjoin(a, b)
+	if err != nil || !ok {
+		t.Fatalf("conjoin failed: %v %v", ok, err)
+	}
+	c, _ := got.Constraint("t")
+	if c.Range.Lo.AsInt() != 5 || c.Range.Hi.AsInt() != 10 {
+		t.Fatalf("conjoined range = %+v", c.Range)
+	}
+	// Provably empty conjunction.
+	c2 := MustQuery(RangeC("t", engine.Int(20), engine.Int(30), true, true))
+	if _, ok, _ := Conjoin(a, c2); ok {
+		t.Fatal("empty conjunction reported non-empty")
+	}
+}
+
+func TestConjoinPreservesAnyContext(t *testing.T) {
+	ctx := MustQuery(Any("a"), Any("b"))
+	cut := MustQuery(ClosedRange("a", engine.Int(1), engine.Int(2)))
+	got, ok, err := Conjoin(ctx, cut)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(got.Attrs()) != 2 {
+		t.Fatalf("context attr lost: %v", got.Attrs())
+	}
+	if c, _ := got.Constraint("a"); c.Kind != KindRange {
+		t.Fatal("Any not replaced by real constraint")
+	}
+}

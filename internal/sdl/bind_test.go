@@ -1,0 +1,155 @@
+package sdl
+
+import (
+	"testing"
+
+	"charles/internal/engine"
+)
+
+func bindTable(t *testing.T) *engine.Table {
+	t.Helper()
+	return engine.MustNewTable("voyages",
+		engine.NewStringColumn("type", []string{"fluit", "jacht"}),
+		engine.NewIntColumn("tonnage", []int64{300, 120}),
+		engine.NewFloatColumn("speed", []float64{4.5, 7.2}),
+		engine.NewDateColumn("departure", []int64{0, 100}),
+		engine.NewBoolColumn("armed", []bool{true, false}),
+	)
+}
+
+func TestBindUnknownColumn(t *testing.T) {
+	tab := bindTable(t)
+	if _, err := Bind(MustParse("nope: [1, 2]"), tab); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestBindIntCoercions(t *testing.T) {
+	tab := bindTable(t)
+	q, err := Bind(MustParse("tonnage: [100.0, 300]"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.Constraint("tonnage")
+	if c.Range.Lo.Kind() != engine.KindInt || c.Range.Lo.AsInt() != 100 {
+		t.Fatalf("lo = %v", c.Range.Lo)
+	}
+	if _, err := Bind(MustParse("tonnage: [100.5, 300]"), tab); err == nil {
+		t.Fatal("fractional float accepted on int column")
+	}
+	if _, err := Bind(MustParse("tonnage: {fluit}"), tab); err == nil {
+		t.Fatal("string accepted on int column")
+	}
+}
+
+func TestBindFloatCoercions(t *testing.T) {
+	tab := bindTable(t)
+	q, err := Bind(MustParse("speed: [4, 8]"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.Constraint("speed")
+	if c.Range.Lo.Kind() != engine.KindFloat || c.Range.Lo.AsFloat() != 4 {
+		t.Fatalf("lo = %v", c.Range.Lo)
+	}
+}
+
+func TestBindDateCoercions(t *testing.T) {
+	tab := bindTable(t)
+	q, err := Bind(MustParse("departure: [1970-01-01, 1970-04-11]"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.Constraint("departure")
+	if c.Range.Lo.Kind() != engine.KindDate || c.Range.Lo.AsInt() != 0 {
+		t.Fatalf("lo = %v", c.Range.Lo)
+	}
+	// Ints coerce to day numbers; quoted ISO strings to dates.
+	q, err = Bind(MustParse("departure: [0, '1970-04-11']"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ = q.Constraint("departure")
+	if c.Range.Lo.Kind() != engine.KindDate || c.Range.Hi.AsInt() != 100 {
+		t.Fatalf("bounds = %+v", c.Range)
+	}
+	if _, err := Bind(MustParse("departure: {notadate}"), tab); err == nil {
+		t.Fatal("garbage accepted on date column")
+	}
+}
+
+func TestBindStringCoercions(t *testing.T) {
+	tab := bindTable(t)
+	// A numeric-looking literal lands on a string column: coerced to
+	// its rendered form.
+	q, err := Bind(MustParse("type: {1999, fluit}"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.Constraint("type")
+	if len(c.Set) != 2 || c.Set[0].AsString() != "1999" {
+		t.Fatalf("set = %v", c.Set)
+	}
+}
+
+func TestBindBoolCoercions(t *testing.T) {
+	tab := bindTable(t)
+	q, err := Bind(MustParse("armed: {true}"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.Constraint("armed")
+	if c.Set[0].Kind() != engine.KindBool || !c.Set[0].AsBool() {
+		t.Fatalf("set = %v", c.Set)
+	}
+	if _, err := Bind(MustParse("armed: {maybe}"), tab); err == nil {
+		t.Fatal("non-bool string accepted on bool column")
+	}
+}
+
+func TestBindKeepsAny(t *testing.T) {
+	tab := bindTable(t)
+	q, err := Bind(MustParse("tonnage:, type:"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumConstraints() != 0 || len(q.Attrs()) != 2 {
+		t.Fatalf("bound = %s", q)
+	}
+}
+
+func TestParseBound(t *testing.T) {
+	tab := bindTable(t)
+	q, err := ParseBound("(tonnage: [100, 300], type:)", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumConstraints() != 1 {
+		t.Fatalf("bound = %s", q)
+	}
+	if _, err := ParseBound("(((", tab); err == nil {
+		t.Fatal("parse error swallowed")
+	}
+}
+
+func TestContextAll(t *testing.T) {
+	tab := bindTable(t)
+	q := ContextAll(tab)
+	if len(q.Attrs()) != tab.NumCols() || q.NumConstraints() != 0 {
+		t.Fatalf("ContextAll = %s", q)
+	}
+}
+
+func TestContextOn(t *testing.T) {
+	tab := bindTable(t)
+	q, err := ContextOn(tab, "tonnage", "type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Attrs()) != 2 {
+		t.Fatalf("ContextOn = %s", q)
+	}
+	if _, err := ContextOn(tab, "ghost"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package sdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"charles/internal/engine"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The query from Section 2:
+	// (date : [1550,1650], tonnage :, type : {'jacht', 'fluit'})
+	q, err := Parse("(date : [1550, 1650], tonnage :, type : {'jacht', 'fluit'})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Attrs()) != 3 || q.NumConstraints() != 2 {
+		t.Fatalf("parsed shape wrong: %s", q)
+	}
+	d, _ := q.Constraint("date")
+	if d.Kind != KindRange || d.Range.Lo.AsInt() != 1550 || !d.Range.HiIncl {
+		t.Fatalf("date constraint = %+v", d)
+	}
+	ty, _ := q.Constraint("type")
+	if ty.Kind != KindSet || len(ty.Set) != 2 {
+		t.Fatalf("type constraint = %+v", ty)
+	}
+	if to, _ := q.Constraint("tonnage"); to.Kind != KindAny {
+		t.Fatalf("tonnage constraint = %+v", to)
+	}
+}
+
+func TestParseWithoutParens(t *testing.T) {
+	q, err := Parse("tonnage: [1000, 5000], type_of_boat:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Attrs()) != 2 {
+		t.Fatalf("attrs = %v", q.Attrs())
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, in := range []string{"", "()", "  "} {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if len(q.Attrs()) != 0 {
+			t.Fatalf("Parse(%q) = %s", in, q)
+		}
+	}
+}
+
+func TestParseLiteralKinds(t *testing.T) {
+	q := MustParse("a: {1, 2.5, 1650-03-15, word, 'quoted one', true}")
+	c, _ := q.Constraint("a")
+	kinds := map[engine.Kind]int{}
+	for _, v := range c.Set {
+		kinds[v.Kind()]++
+	}
+	if kinds[engine.KindInt] != 1 || kinds[engine.KindFloat] != 1 ||
+		kinds[engine.KindDate] != 1 || kinds[engine.KindString] != 2 ||
+		kinds[engine.KindBool] != 1 {
+		t.Fatalf("literal kinds = %v", kinds)
+	}
+}
+
+func TestParseHalfOpenRange(t *testing.T) {
+	q := MustParse("ton: [1000, 1150)")
+	c, _ := q.Constraint("ton")
+	if !c.Range.LoIncl || c.Range.HiIncl {
+		t.Fatalf("inclusivity = %+v", c.Range)
+	}
+	q = MustParse("ton: (1000, 1150]")
+	c, _ = q.Constraint("ton")
+	if c.Range.LoIncl || !c.Range.HiIncl {
+		t.Fatalf("inclusivity = %+v", c.Range)
+	}
+}
+
+func TestParseNegativeAndFloatNumbers(t *testing.T) {
+	q := MustParse("x: [-10, 3.5]")
+	c, _ := q.Constraint("x")
+	if c.Range.Lo.AsInt() != -10 || c.Range.Hi.AsFloat() != 3.5 {
+		t.Fatalf("bounds = %+v", c.Range)
+	}
+}
+
+func TestParseDates(t *testing.T) {
+	q := MustParse("departure: [1650-01-01, 1651-12-31]")
+	c, _ := q.Constraint("departure")
+	if c.Range.Lo.Kind() != engine.KindDate || c.Range.Lo.String() != "1650-01-01" {
+		t.Fatalf("lo = %v", c.Range.Lo)
+	}
+}
+
+func TestParseQuotedEscapes(t *testing.T) {
+	q := MustParse("m: {'O''Neill'}")
+	c, _ := q.Constraint("m")
+	if c.Set[0].AsString() != "O'Neill" {
+		t.Fatalf("escape = %q", c.Set[0].AsString())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(a:",                 // unclosed paren
+		"a: [1, 2",            // unclosed range
+		"a: {1, }",            // dangling comma in set
+		"a: {}",               // empty set
+		"a: [1 2]",            // missing comma
+		"a",                   // missing colon
+		"a: [1, 2] b: [3, 4]", // missing comma between predicates
+		"a: 'unterminated",    // unterminated string
+		"a: {1, 2}, a: {3}",   // duplicate attribute
+		"1a: {1}",             // bad identifier
+		"a: [1-2, 3]",         // malformed literal
+		"a: @",                // stray character
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseWhitespaceInsensitive(t *testing.T) {
+	a := MustParse("(a:[1,2],b:{x,y},c:)")
+	b := MustParse(" ( a : [ 1 , 2 ] ,\n b : { x , y } , c : ) ")
+	if !a.Equal(b) {
+		t.Fatalf("whitespace changed parse: %s vs %s", a, b)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	queries := []Query{
+		MustQuery(Any("a")),
+		MustQuery(ClosedRange("tonnage", engine.Int(1000), engine.Int(5000)), Any("built")),
+		MustQuery(RangeC("t", engine.Float(1.5), engine.Float(2.5), true, false)),
+		MustQuery(SetC("h", engine.String_("bantam"), engine.String_("Ram men kens"))),
+		MustQuery(RangeC("d", engine.Date(0), engine.Date(1000), false, true)),
+		MustQuery(SetC("armed", engine.Bool(true))),
+		MustQuery(SetC("weird", engine.String_("3rd-value"), engine.String_("o'brien"), engine.String_(""))),
+		{},
+	}
+	for _, q := range queries {
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", q.String(), err)
+		}
+		if !q.Equal(back) {
+			t.Fatalf("round trip changed query: %q -> %q", q.String(), back.String())
+		}
+	}
+}
+
+func TestPrintParseRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"fluit", "jacht", "pinas", "de Ruyter", "O'Neill", "x-1", "1999", "true"}
+	for trial := 0; trial < 200; trial++ {
+		var cs []Constraint
+		nAttrs := 1 + rng.Intn(4)
+		for i := 0; i < nAttrs; i++ {
+			attr := string(rune('a'+i)) + "_col"
+			switch rng.Intn(3) {
+			case 0:
+				cs = append(cs, Any(attr))
+			case 1:
+				lo := rng.Int63n(1000)
+				hi := lo + rng.Int63n(1000)
+				cs = append(cs, RangeC(attr, engine.Int(lo), engine.Int(hi), rng.Intn(2) == 0, rng.Intn(2) == 0))
+			default:
+				n := 1 + rng.Intn(3)
+				vals := make([]engine.Value, n)
+				for j := range vals {
+					vals[j] = engine.String_(words[rng.Intn(len(words))])
+				}
+				cs = append(cs, SetC(attr, vals...))
+			}
+		}
+		q := MustQuery(cs...)
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, q.String(), err)
+		}
+		if !q.Equal(back) {
+			t.Fatalf("trial %d: %q -> %q", trial, q.String(), back.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestParseErrorMessagesCarryOffsets(t *testing.T) {
+	_, err := Parse("a: [1, 2")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %v lacks offset", err)
+	}
+}

@@ -1,0 +1,77 @@
+package sdl
+
+import (
+	"testing"
+
+	"charles/internal/engine"
+)
+
+func TestWhereClauseEmpty(t *testing.T) {
+	if got := WhereClause(MustQuery(Any("a"), Any("b"))); got != "TRUE" {
+		t.Fatalf("WhereClause = %q, want TRUE", got)
+	}
+	if got := WhereClause(Query{}); got != "TRUE" {
+		t.Fatalf("WhereClause(zero) = %q", got)
+	}
+}
+
+func TestWhereClauseRange(t *testing.T) {
+	q := MustQuery(RangeC("tonnage", engine.Int(1000), engine.Int(1150), true, false))
+	want := "tonnage >= 1000 AND tonnage < 1150"
+	if got := WhereClause(q); got != want {
+		t.Fatalf("WhereClause = %q, want %q", got, want)
+	}
+	q = MustQuery(RangeC("t", engine.Int(1), engine.Int(2), false, true))
+	want = "t > 1 AND t <= 2"
+	if got := WhereClause(q); got != want {
+		t.Fatalf("WhereClause = %q, want %q", got, want)
+	}
+}
+
+func TestWhereClauseSet(t *testing.T) {
+	q := MustQuery(SetC("type", engine.String_("fluit"), engine.String_("jacht")))
+	want := "type IN ('fluit', 'jacht')"
+	if got := WhereClause(q); got != want {
+		t.Fatalf("WhereClause = %q, want %q", got, want)
+	}
+	q = MustQuery(SetC("type", engine.String_("fluit")))
+	want = "type = 'fluit'"
+	if got := WhereClause(q); got != want {
+		t.Fatalf("singleton set = %q, want %q", got, want)
+	}
+}
+
+func TestWhereClauseQuotingAndKinds(t *testing.T) {
+	q := MustQuery(
+		SetC("master", engine.String_("O'Neill")),
+		ClosedRange("departure", engine.Date(0), engine.Date(1)),
+		SetC("armed", engine.Bool(true)),
+	)
+	got := WhereClause(q)
+	want := "armed = TRUE AND departure >= DATE '1970-01-01' AND departure <= DATE '1970-01-02' AND master = 'O''Neill'"
+	if got != want {
+		t.Fatalf("WhereClause = %q\nwant          %q", got, want)
+	}
+}
+
+func TestSelectCountAndStar(t *testing.T) {
+	q := MustQuery(ClosedRange("tonnage", engine.Int(1), engine.Int(2)))
+	if got := SelectCount(q, "voyages"); got != "SELECT COUNT(*) FROM voyages WHERE tonnage >= 1 AND tonnage <= 2" {
+		t.Fatalf("SelectCount = %q", got)
+	}
+	if got := SelectStar(q, "voyages"); got != "SELECT * FROM voyages WHERE tonnage >= 1 AND tonnage <= 2" {
+		t.Fatalf("SelectStar = %q", got)
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	q := MustQuery(ClosedRange("weird col", engine.Int(1), engine.Int(2)))
+	got := WhereClause(q)
+	want := `"weird col" >= 1 AND "weird col" <= 2`
+	if got != want {
+		t.Fatalf("WhereClause = %q, want %q", got, want)
+	}
+	if got := SelectCount(Query{}, "Table"); got != `SELECT COUNT(*) FROM "Table" WHERE TRUE` {
+		t.Fatalf("SelectCount = %q", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package seg implements segmentations (Definition 3) and everything
+// that operates on them: an evaluator that turns SDL queries into
+// row selections with caching, the three primitives CUT, COMPOSE and
+// PRODUCT of Section 4.1, and the quality metrics of Section 3 —
+// entropy, simplicity, breadth — plus the INDEP dependence quotient
+// of Proposition 1.
+package seg
+
+import (
+	"fmt"
+
+	"charles/internal/engine"
+	"charles/internal/sdl"
+)
+
+// Counters instruments the evaluator for the scalability experiments
+// (E6/E7): how often work was reused versus recomputed.
+type Counters struct {
+	// FullEvals counts constraint-by-constraint query evaluations.
+	FullEvals int
+	// NarrowEvals counts incremental child evaluations (filtering a
+	// parent's selection by one new constraint), the cheap path cuts
+	// take.
+	NarrowEvals int
+	// CacheHits counts selections served from the query cache.
+	CacheHits int
+	// CutPointCalcs counts median/quantile computations, the
+	// operation Section 5.1 calls the vertical-scalability
+	// bottleneck.
+	CutPointCalcs int
+}
+
+// Evaluator binds SDL queries to a table and caches the resulting
+// selections by canonical query string, implementing the reuse
+// opportunity Section 5.1 points out ("the calculations ... can be
+// reused from one iteration to the next"). An Evaluator is not safe
+// for concurrent use; each advisory session owns one.
+type Evaluator struct {
+	tab     *engine.Table
+	cache   map[string]engine.Selection
+	caching bool
+	count   Counters
+}
+
+// NewEvaluator returns a caching evaluator over t.
+func NewEvaluator(t *engine.Table) *Evaluator {
+	return &Evaluator{
+		tab:     t,
+		cache:   make(map[string]engine.Selection),
+		caching: true,
+	}
+}
+
+// Table returns the relation the evaluator is bound to.
+func (e *Evaluator) Table() *engine.Table { return e.tab }
+
+// SetCaching toggles the selection cache (the E6 ablation). Turning
+// caching off also drops the current cache.
+func (e *Evaluator) SetCaching(on bool) {
+	e.caching = on
+	if !on {
+		e.cache = make(map[string]engine.Selection)
+	}
+}
+
+// Counters returns a copy of the instrumentation counters.
+func (e *Evaluator) Counters() Counters { return e.count }
+
+// ResetCounters zeroes the instrumentation counters.
+func (e *Evaluator) ResetCounters() { e.count = Counters{} }
+
+// CacheLen returns the number of cached selections.
+func (e *Evaluator) CacheLen() int { return len(e.cache) }
+
+// Select returns the sorted row selection R(Q). Results are cached
+// under the query's canonical key. The returned selection must not
+// be mutated.
+func (e *Evaluator) Select(q sdl.Query) (engine.Selection, error) {
+	key := q.Key()
+	if e.caching {
+		if sel, ok := e.cache[key]; ok {
+			e.count.CacheHits++
+			return sel, nil
+		}
+	}
+	sel := e.tab.All()
+	for _, c := range q.Constraints() {
+		if c.IsAny() {
+			continue
+		}
+		var err error
+		sel, err = e.applyConstraint(sel, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.count.FullEvals++
+	if e.caching {
+		e.cache[key] = sel
+	}
+	return sel, nil
+}
+
+// Count returns |R(Q)|.
+func (e *Evaluator) Count(q sdl.Query) (int, error) {
+	sel, err := e.Select(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(sel), nil
+}
+
+// Narrow filters a parent query's selection by one additional (or
+// refined) constraint and caches the result under the child query's
+// key. It is the incremental path CUT uses: the child's extent is a
+// subset of the parent's, so only the changed predicate needs to be
+// applied. child must equal parent.WithConstraint(c).
+func (e *Evaluator) Narrow(parentSel engine.Selection, child sdl.Query, c sdl.Constraint) (engine.Selection, error) {
+	key := child.Key()
+	if e.caching {
+		if sel, ok := e.cache[key]; ok {
+			e.count.CacheHits++
+			return sel, nil
+		}
+	}
+	sel, err := e.applyConstraint(parentSel, c)
+	if err != nil {
+		return nil, err
+	}
+	e.count.NarrowEvals++
+	if e.caching {
+		e.cache[key] = sel
+	}
+	return sel, nil
+}
+
+// applyConstraint dispatches one predicate to the engine's typed
+// column filters.
+func (e *Evaluator) applyConstraint(sel engine.Selection, c sdl.Constraint) (engine.Selection, error) {
+	if c.IsAny() {
+		return sel, nil
+	}
+	col, ok := e.tab.ColumnByName(c.Attr)
+	if !ok {
+		return nil, fmt.Errorf("seg: no column %q in table %q", c.Attr, e.tab.Name())
+	}
+	switch col := col.(type) {
+	case *engine.StringColumn:
+		switch c.Kind {
+		case sdl.KindSet:
+			vals := make([]string, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsString()
+			}
+			return engine.FilterStringSet(col, sel, vals), nil
+		case sdl.KindRange:
+			return engine.FilterStringRange(col, sel,
+				c.Range.Lo.AsString(), c.Range.Hi.AsString(),
+				c.Range.LoIncl, c.Range.HiIncl), nil
+		}
+	case *engine.BoolColumn:
+		if c.Kind == sdl.KindSet {
+			vals := make([]bool, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsBool()
+			}
+			return engine.FilterBoolSet(col, sel, vals), nil
+		}
+		return nil, fmt.Errorf("seg: %s: range constraint on bool column", c.Attr)
+	case *engine.FloatColumn:
+		switch c.Kind {
+		case sdl.KindRange:
+			return engine.FilterFloatRange(col, sel, engine.FloatRange{
+				Lo: c.Range.Lo.AsFloat(), Hi: c.Range.Hi.AsFloat(),
+				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
+			}), nil
+		case sdl.KindSet:
+			vals := make([]float64, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsFloat()
+			}
+			return engine.FilterFloatSet(col, sel, vals), nil
+		}
+	case engine.IntValued: // IntColumn and DateColumn
+		switch c.Kind {
+		case sdl.KindRange:
+			return engine.FilterIntRange(col, sel, engine.IntRange{
+				Lo: c.Range.Lo.AsInt(), Hi: c.Range.Hi.AsInt(),
+				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
+			}), nil
+		case sdl.KindSet:
+			vals := make([]int64, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsInt()
+			}
+			return engine.FilterIntSet(col, sel, vals), nil
+		}
+	}
+	return nil, fmt.Errorf("seg: %s: unsupported %v constraint on %v column", c.Attr, c.Kind, col.Kind())
+}

@@ -1,0 +1,163 @@
+package seg
+
+import (
+	"testing"
+
+	"charles/internal/engine"
+	"charles/internal/sdl"
+)
+
+func TestSelectConjunction(t *testing.T) {
+	tab, ev := figure2Table(t)
+	_ = tab
+	q := sdl.MustQuery(
+		sdl.SetC("type", engine.String_("fluit")),
+		sdl.ClosedRange("tonnage", engine.Int(1500), engine.Int(3000)),
+	)
+	sel, err := ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 { // fluit rows with tonnage 1800, 2000
+		t.Fatalf("selection = %v, want 2 rows", sel)
+	}
+	if !sel.IsSorted() {
+		t.Fatal("selection not sorted")
+	}
+}
+
+func TestSelectCaches(t *testing.T) {
+	_, ev := figure2Table(t)
+	q := sdl.MustQuery(sdl.SetC("type", engine.String_("jacht")))
+	if _, err := ev.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	before := ev.Counters()
+	if _, err := ev.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	after := ev.Counters()
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("second select did not hit cache: %+v -> %+v", before, after)
+	}
+	if after.FullEvals != before.FullEvals {
+		t.Fatal("second select re-evaluated")
+	}
+}
+
+func TestSetCachingOff(t *testing.T) {
+	_, ev := figure2Table(t)
+	ev.SetCaching(false)
+	q := sdl.MustQuery(sdl.SetC("type", engine.String_("jacht")))
+	if _, err := ev.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	c := ev.Counters()
+	if c.CacheHits != 0 || c.FullEvals != 2 {
+		t.Fatalf("caching off but counters = %+v", c)
+	}
+	if ev.CacheLen() != 0 {
+		t.Fatal("cache populated while off")
+	}
+}
+
+func TestNarrowMatchesFullEval(t *testing.T) {
+	tab, ev := figure2Table(t)
+	_ = tab
+	parent := sdl.MustQuery(sdl.SetC("type", engine.String_("fluit")))
+	parentSel, err := ev.Select(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sdl.ClosedRange("tonnage", engine.Int(0), engine.Int(2000))
+	child := parent.WithConstraint(c)
+	narrowed, err := ev.Narrow(parentSel, child, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := NewEvaluator(tab)
+	full, err := ev2.Select(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrowed) != len(full) {
+		t.Fatalf("narrow %v != full %v", narrowed, full)
+	}
+	for i := range narrowed {
+		if narrowed[i] != full[i] {
+			t.Fatalf("narrow %v != full %v", narrowed, full)
+		}
+	}
+}
+
+func TestSelectUnknownColumn(t *testing.T) {
+	_, ev := figure2Table(t)
+	q := sdl.MustQuery(sdl.ClosedRange("ghost", engine.Int(0), engine.Int(1)))
+	if _, err := ev.Select(q); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSelectRangeOnBoolRejected(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewBoolColumn("b", []bool{true, false}))
+	ev := NewEvaluator(tab)
+	q := sdl.MustQuery(sdl.RangeC("b", engine.Bool(false), engine.Bool(true), true, true))
+	if _, err := ev.Select(q); err == nil {
+		t.Fatal("range on bool accepted")
+	}
+}
+
+func TestSelectStringRange(t *testing.T) {
+	tab := engine.MustNewTable("t", engine.NewStringColumn("s", []string{"apple", "banana", "cherry"}))
+	ev := NewEvaluator(tab)
+	q := sdl.MustQuery(sdl.RangeC("s", engine.String_("b"), engine.String_("c"), true, false))
+	sel, err := ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("string range selected %v", sel)
+	}
+}
+
+func TestSelectIntSetAndFloatSet(t *testing.T) {
+	tab := engine.MustNewTable("t",
+		engine.NewIntColumn("i", []int64{1, 2, 3, 2}),
+		engine.NewFloatColumn("f", []float64{1.5, 2.5, 3.5, 2.5}),
+	)
+	ev := NewEvaluator(tab)
+	q := sdl.MustQuery(sdl.SetC("i", engine.Int(2)))
+	sel, err := ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("int set selected %v", sel)
+	}
+	q = sdl.MustQuery(sdl.SetC("f", engine.Float(2.5), engine.Float(9.9)))
+	sel, err = ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("float set selected %v", sel)
+	}
+}
+
+func TestCountersAndReset(t *testing.T) {
+	_, ev := figure2Table(t)
+	q := sdl.MustQuery(sdl.SetC("type", engine.String_("fluit")))
+	if _, err := ev.Count(q); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Counters().FullEvals != 1 {
+		t.Fatalf("counters = %+v", ev.Counters())
+	}
+	ev.ResetCounters()
+	if ev.Counters().FullEvals != 0 {
+		t.Fatal("ResetCounters did not reset")
+	}
+}

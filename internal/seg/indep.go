@@ -1,0 +1,161 @@
+package seg
+
+import (
+	"fmt"
+
+	"charles/internal/engine"
+	"charles/internal/sdl"
+	"charles/internal/stats"
+)
+
+// Product implements the SDL product S1 × S2 (Definition 8): every
+// pairwise conjunction (Q1i, Q2j). Provably empty conjunctions and
+// pairs whose extents do not overlap are dropped, so the result is a
+// partition of the common context with strictly positive counts.
+func Product(ev *Evaluator, s1, s2 *Segmentation) (*Segmentation, error) {
+	sel1, err := selections(ev, s1)
+	if err != nil {
+		return nil, err
+	}
+	sel2, err := selections(ev, s2)
+	if err != nil {
+		return nil, err
+	}
+	out := &Segmentation{CutAttrs: mergeAttrs(s1.CutAttrs, s2.CutAttrs)}
+	for i, q1 := range s1.Queries {
+		for j, q2 := range s2.Queries {
+			q, nonEmpty, err := sdl.Conjoin(q1, q2)
+			if err != nil {
+				return nil, err
+			}
+			if !nonEmpty {
+				continue
+			}
+			count := engine.IntersectCount(sel1[i], sel2[j])
+			if count == 0 {
+				continue
+			}
+			out.Queries = append(out.Queries, q)
+			out.Counts = append(out.Counts, count)
+		}
+	}
+	return out, nil
+}
+
+// CellCounts returns the |S1| × |S2| joint contingency table:
+// cells[i][j] = |R(Q1i) ∩ R(Q2j)|. This is the raw material for both
+// INDEP and the chi-squared stopping rule.
+func CellCounts(ev *Evaluator, s1, s2 *Segmentation) ([][]int, error) {
+	sel1, err := selections(ev, s1)
+	if err != nil {
+		return nil, err
+	}
+	sel2, err := selections(ev, s2)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]int, len(sel1))
+	for i := range sel1 {
+		cells[i] = make([]int, len(sel2))
+		for j := range sel2 {
+			cells[i][j] = engine.IntersectCount(sel1[i], sel2[j])
+		}
+	}
+	return cells, nil
+}
+
+// Indep returns INDEP(S1, S2) = E(S1×S2) / (E(S1) + E(S2)), the
+// dependence quotient of Proposition 1: 1 when the segment variables
+// are independent, decreasing with the degree of dependence. By
+// convention it is 1 when both segmentations are degenerate
+// (E(S1)+E(S2) = 0), so degenerate candidates never win the
+// most-dependent-pair selection.
+func Indep(ev *Evaluator, s1, s2 *Segmentation) (float64, error) {
+	cells, err := CellCounts(ev, s1, s2)
+	if err != nil {
+		return 0, err
+	}
+	return IndepFromCells(cells), nil
+}
+
+// IndepFromCells computes the INDEP quotient from a precomputed
+// contingency table.
+func IndepFromCells(cells [][]int) float64 {
+	if len(cells) == 0 {
+		return 1
+	}
+	rows := make([]int, len(cells))
+	cols := make([]int, len(cells[0]))
+	flat := make([]int, 0, len(cells)*len(cells[0]))
+	for i, row := range cells {
+		for j, c := range row {
+			rows[i] += c
+			cols[j] += c
+			flat = append(flat, c)
+		}
+	}
+	denom := stats.Entropy(rows) + stats.Entropy(cols)
+	if denom == 0 {
+		return 1
+	}
+	return stats.Entropy(flat) / denom
+}
+
+// ChiSquareIndependent applies the Section 4.2 suggestion of
+// statistical hypothesis testing as a stopping rule: it reports
+// whether the joint distribution of two segmentations is consistent
+// with independence at significance alpha.
+func ChiSquareIndependent(ev *Evaluator, s1, s2 *Segmentation, alpha float64) (bool, error) {
+	cells, err := CellCounts(ev, s1, s2)
+	if err != nil {
+		return false, err
+	}
+	return stats.ChiSquareIndependent(cells, alpha), nil
+}
+
+func selections(ev *Evaluator, s *Segmentation) ([]engine.Selection, error) {
+	out := make([]engine.Selection, len(s.Queries))
+	for i, q := range s.Queries {
+		sel, err := ev.Select(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sel
+	}
+	return out, nil
+}
+
+// ValidatePartition checks Definition 3 exactly: the segments are
+// pairwise disjoint and their union is the context's extent. It is
+// the workhorse of the property-based tests and costs O(|D| + Σ|Qi|).
+func ValidatePartition(ev *Evaluator, context sdl.Query, s *Segmentation) error {
+	ctxSel, err := ev.Select(context)
+	if err != nil {
+		return err
+	}
+	covered := make(map[int32]int, len(ctxSel))
+	for i, q := range s.Queries {
+		sel, err := ev.Select(q)
+		if err != nil {
+			return err
+		}
+		if len(sel) != s.Counts[i] {
+			return fmt.Errorf("seg: segment %d count %d does not match extent %d", i, s.Counts[i], len(sel))
+		}
+		for _, row := range sel {
+			if prev, dup := covered[row]; dup {
+				return fmt.Errorf("seg: row %d covered by segments %d and %d: not disjoint", row, prev, i)
+			}
+			covered[row] = i
+		}
+	}
+	if len(covered) != len(ctxSel) {
+		return fmt.Errorf("seg: segments cover %d rows, context has %d: not exhaustive", len(covered), len(ctxSel))
+	}
+	for _, row := range ctxSel {
+		if _, ok := covered[row]; !ok {
+			return fmt.Errorf("seg: context row %d not covered by any segment", row)
+		}
+	}
+	return nil
+}

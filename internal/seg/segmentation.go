@@ -1,0 +1,156 @@
+package seg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"charles/internal/sdl"
+	"charles/internal/stats"
+)
+
+// Segmentation is a set of SDL queries partitioning a context's
+// extent (Definition 3). Invariants maintained by the constructors
+// in this package:
+//
+//   - Queries are pairwise disjoint and cover the context.
+//   - All queries are cut on the same attribute set CutAttrs (the
+//     restriction Section 5.2 acknowledges; the adaptive extension
+//     in internal/core relaxes it).
+//   - Counts[i] == |R(Queries[i])| and every count is positive.
+type Segmentation struct {
+	// Queries are the segments, in deterministic order.
+	Queries []sdl.Query
+	// CutAttrs lists the attributes the segmentation is based on, in
+	// canonical order.
+	CutAttrs []string
+	// Counts holds each segment's extent size, aligned with Queries.
+	Counts []int
+}
+
+// Depth returns the number of segments — the "amount of information"
+// bounded by maxDepth in HB-cuts (a pie chart with more than a dozen
+// slices is hard to read).
+func (s *Segmentation) Depth() int { return len(s.Queries) }
+
+// Total returns the context size |D| (the sum of segment counts).
+func (s *Segmentation) Total() int {
+	t := 0
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Entropy returns E(S) of Definition 4 in bits, with segment masses
+// normalized by the context size |D| rather than |T| so that
+// Proposition 1 holds exactly (documented deviation; the two agree
+// when the context is the whole table).
+func (s *Segmentation) Entropy() float64 { return stats.Entropy(s.Counts) }
+
+// MaxEntropy returns log2(Depth), the entropy of a perfectly
+// balanced segmentation of the same depth.
+func (s *Segmentation) MaxEntropy() float64 { return stats.MaxEntropy(len(s.Queries)) }
+
+// Balance returns Entropy/MaxEntropy in (0, 1]: 1 for perfectly
+// equal segment sizes.
+func (s *Segmentation) Balance() float64 { return stats.BalanceRatio(s.Counts) }
+
+// Simplicity returns P(S) of Section 3: the maximum number of
+// predicates among the segmentation's queries (lower is simpler).
+func (s *Segmentation) Simplicity() int {
+	max := 0
+	for _, q := range s.Queries {
+		if n := q.NumConstraints(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Breadth returns the number of distinct constrained columns across
+// the segmentation's queries (Principle 2: broad segmentations are
+// more informative).
+func (s *Segmentation) Breadth() int {
+	seen := map[string]struct{}{}
+	for _, q := range s.Queries {
+		for _, a := range q.ConstrainedAttrs() {
+			seen[a] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Cover returns |R(Qi)| / |D| for segment i.
+func (s *Segmentation) Cover(i int) float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Counts[i]) / float64(t)
+}
+
+// Metrics bundles the Section 3 criteria for ranking and reporting.
+type Metrics struct {
+	Entropy    float64
+	MaxEntropy float64
+	Balance    float64
+	Depth      int
+	Simplicity int
+	Breadth    int
+}
+
+// ComputeMetrics evaluates all criteria at once.
+func (s *Segmentation) ComputeMetrics() Metrics {
+	return Metrics{
+		Entropy:    s.Entropy(),
+		MaxEntropy: s.MaxEntropy(),
+		Balance:    s.Balance(),
+		Depth:      s.Depth(),
+		Simplicity: s.Simplicity(),
+		Breadth:    s.Breadth(),
+	}
+}
+
+// Key returns a canonical identity string for caching (the sorted
+// cut-attribute list plus segment count: cuts on the same attributes
+// in any order produce the same logical segmentation family).
+func (s *Segmentation) Key() string {
+	return strings.Join(s.CutAttrs, ",") + "#" + fmt.Sprint(len(s.Queries))
+}
+
+// String summarizes the segmentation for logs and errors.
+func (s *Segmentation) String() string {
+	return fmt.Sprintf("segmentation on [%s] with %d segments", strings.Join(s.CutAttrs, ", "), len(s.Queries))
+}
+
+// singleton wraps a context query as a 1-segment segmentation, the
+// unit COMPOSE and CUT build from.
+func singleton(q sdl.Query, count int) *Segmentation {
+	return &Segmentation{Queries: []sdl.Query{q}, CutAttrs: nil, Counts: []int{count}}
+}
+
+// mergeAttrs returns the sorted union of two attribute sets.
+func mergeAttrs(a, b []string) []string {
+	seen := make(map[string]struct{}, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range a {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// addAttr returns the sorted union of attrs and one more attribute.
+func addAttr(attrs []string, attr string) []string {
+	return mergeAttrs(attrs, []string{attr})
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderByFrequency(t *testing.T) {
+	vcs := []ValueCount{{"b", 5}, {"a", 9}, {"c", 5}, {"d", 1}}
+	OrderByFrequency(vcs)
+	want := []string{"a", "b", "c", "d"} // 9, then 5-ties alphabetical, then 1
+	for i, w := range want {
+		if vcs[i].Value != w {
+			t.Fatalf("order = %v, want values %v", vcs, want)
+		}
+	}
+}
+
+func TestOrderAlphabetically(t *testing.T) {
+	vcs := []ValueCount{{"zeeland", 1}, {"bantam", 9}, {"surat", 4}}
+	OrderAlphabetically(vcs)
+	if vcs[0].Value != "bantam" || vcs[2].Value != "zeeland" {
+		t.Fatalf("alphabetical order wrong: %v", vcs)
+	}
+}
+
+func TestNominalSplitPointBalanced(t *testing.T) {
+	vcs := []ValueCount{{"a", 25}, {"b", 25}, {"c", 25}, {"d", 25}}
+	k, ok := NominalSplitPoint(vcs)
+	if !ok || k != 2 {
+		t.Fatalf("split = %d ok=%v, want 2 true", k, ok)
+	}
+}
+
+func TestNominalSplitPointSkewed(t *testing.T) {
+	// One dominant value: the closest-to-half split isolates it.
+	vcs := []ValueCount{{"fluit", 60}, {"jacht", 20}, {"pinas", 20}}
+	k, ok := NominalSplitPoint(vcs)
+	if !ok || k != 1 {
+		t.Fatalf("split = %d ok=%v, want 1 true", k, ok)
+	}
+}
+
+func TestNominalSplitPointDegenerate(t *testing.T) {
+	if _, ok := NominalSplitPoint([]ValueCount{{"only", 10}}); ok {
+		t.Fatal("single value must not split")
+	}
+	if _, ok := NominalSplitPoint(nil); ok {
+		t.Fatal("empty list must not split")
+	}
+	if _, ok := NominalSplitPoint([]ValueCount{{"a", 0}, {"b", 0}}); ok {
+		t.Fatal("zero total must not split")
+	}
+}
+
+func TestNominalSplitPointAlwaysInteriorProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vcs := make([]ValueCount, len(raw))
+		total := 0
+		for i, r := range raw {
+			vcs[i] = ValueCount{Value: string(rune('a' + i%26)), Count: int(r) + 1}
+			total += int(r) + 1
+		}
+		k, ok := NominalSplitPoint(vcs)
+		return ok && k >= 1 && k < len(vcs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNominalSplitPointsTertiles(t *testing.T) {
+	vcs := []ValueCount{{"a", 10}, {"b", 10}, {"c", 10}, {"d", 10}, {"e", 10}, {"f", 10}}
+	points := NominalSplitPoints(vcs, 3)
+	if len(points) != 2 || points[0] != 2 || points[1] != 4 {
+		t.Fatalf("tertile points = %v, want [2 4]", points)
+	}
+}
+
+func TestNominalSplitPointsIncreasingProperty(t *testing.T) {
+	f := func(raw []uint8, arity uint8) bool {
+		a := int(arity%6) + 2
+		if len(raw) < 2 {
+			return true
+		}
+		vcs := make([]ValueCount, len(raw))
+		for i, r := range raw {
+			vcs[i] = ValueCount{Value: string(rune('a' + i%26)), Count: int(r) + 1}
+		}
+		points := NominalSplitPoints(vcs, a)
+		prev := 0
+		for _, p := range points {
+			if p <= prev || p >= len(vcs) {
+				return false
+			}
+			prev = p
+		}
+		return len(points) <= a-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNominalSplitPointsMatchesBinaryCase(t *testing.T) {
+	vcs := []ValueCount{{"a", 30}, {"b", 30}, {"c", 40}}
+	k, _ := NominalSplitPoint(vcs)
+	points := NominalSplitPoints(vcs, 2)
+	if len(points) != 1 || points[0] != k {
+		t.Fatalf("arity-2 points %v disagree with binary split %d", points, k)
+	}
+}

@@ -1,0 +1,226 @@
+package ui
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"strings"
+
+	"charles/internal/core"
+	"charles/internal/sdl"
+)
+
+// pieColors cycles through slice fills.
+var pieColors = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+	"#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+}
+
+// PieSVG renders a pie chart of the fractions (normalized to their
+// sum) as a self-contained SVG string of the given pixel size. A
+// single slice renders as a full disc.
+func PieSVG(fractions []float64, size int) template.HTML {
+	var b strings.Builder
+	r := float64(size) / 2
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d">`, size, size, size, size)
+	total := 0.0
+	for _, f := range fractions {
+		if f > 0 {
+			total += f
+		}
+	}
+	if total <= 0 {
+		b.WriteString("</svg>")
+		return template.HTML(b.String())
+	}
+	angle := -math.Pi / 2 // start at 12 o'clock
+	for i, f := range fractions {
+		if f <= 0 {
+			continue
+		}
+		frac := f / total
+		color := pieColors[i%len(pieColors)]
+		if frac >= 0.999999 {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`, r, r, r, color)
+			break
+		}
+		end := angle + frac*2*math.Pi
+		x1, y1 := r+r*math.Cos(angle), r+r*math.Sin(angle)
+		x2, y2 := r+r*math.Cos(end), r+r*math.Sin(end)
+		large := 0
+		if frac > 0.5 {
+			large = 1
+		}
+		fmt.Fprintf(&b, `<path d="M%.2f,%.2f L%.2f,%.2f A%.2f,%.2f 0 %d 1 %.2f,%.2f Z" fill="%s"/>`,
+			r, r, x1, y1, r, r, large, x2, y2, color)
+		angle = end
+	}
+	b.WriteString("</svg>")
+	return template.HTML(b.String())
+}
+
+// SliceColor returns the color used for slice i, so legends match
+// the pie.
+func SliceColor(i int) string { return pieColors[i%len(pieColors)] }
+
+// PageData feeds the Figure 1 page template.
+type PageData struct {
+	Table      string
+	Context    string
+	ContextSQL string
+	Rows       int
+	Answers    []AnswerView
+	Selected   int
+	Detail     *DetailView
+	Error      string
+}
+
+// AnswerView is one pie in the ranked top panel.
+type AnswerView struct {
+	Index   int
+	Attrs   string
+	Metrics string
+	Pie     template.HTML
+}
+
+// DetailView is the main panel: the selected segmentation.
+type DetailView struct {
+	Index    int
+	Attrs    string
+	Metrics  string
+	Pie      template.HTML
+	Segments []SegmentView
+}
+
+// SegmentView is one slice of the selected segmentation.
+type SegmentView struct {
+	Index   int
+	Color   string
+	Percent string
+	Count   int
+	SDL     string
+	SQL     string
+}
+
+// BuildPage assembles the template data for a result. selected is
+// the index of the opened answer (−1 for none).
+func BuildPage(table string, context sdl.Query, rows int, res *core.Result, selected int) PageData {
+	pd := PageData{
+		Table:      table,
+		Context:    context.String(),
+		ContextSQL: sdl.SelectStar(context, table),
+		Rows:       rows,
+		Selected:   selected,
+	}
+	for i, sc := range res.Segmentations {
+		fracs := make([]float64, len(sc.Seg.Counts))
+		total := sc.Seg.Total()
+		for j, c := range sc.Seg.Counts {
+			fracs[j] = float64(c) / float64(total)
+		}
+		pd.Answers = append(pd.Answers, AnswerView{
+			Index:   i,
+			Attrs:   strings.Join(sc.Seg.CutAttrs, ", "),
+			Metrics: FormatMetrics(sc.Metrics),
+			Pie:     PieSVG(fracs, 96),
+		})
+	}
+	if selected >= 0 && selected < len(res.Segmentations) {
+		sc := res.Segmentations[selected]
+		total := sc.Seg.Total()
+		fracs := make([]float64, len(sc.Seg.Counts))
+		dv := &DetailView{
+			Index:   selected,
+			Attrs:   strings.Join(sc.Seg.CutAttrs, ", "),
+			Metrics: FormatMetrics(sc.Metrics),
+		}
+		for j, c := range sc.Seg.Counts {
+			fracs[j] = float64(c) / float64(total)
+			dv.Segments = append(dv.Segments, SegmentView{
+				Index:   j,
+				Color:   SliceColor(j),
+				Percent: fmt.Sprintf("%.1f%%", fracs[j]*100),
+				Count:   c,
+				SDL:     describeQuery(sc.Seg.Queries[j], sc.Seg.CutAttrs),
+				SQL:     sdl.SelectStar(sc.Seg.Queries[j], table),
+			})
+		}
+		dv.Pie = PieSVG(fracs, 220)
+		pd.Detail = dv
+	}
+	return pd
+}
+
+// PageTemplate is the single-file HTML rendering of Figure 1's
+// three panels, served by cmd/charles-server.
+var PageTemplate = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Charles — {{.Table}}</title>
+<style>
+body { font-family: sans-serif; margin: 0; background: #fafafa; color: #222; }
+header { background: #2b3a55; color: #fff; padding: 10px 16px; }
+header h1 { margin: 0; font-size: 20px; }
+.layout { display: flex; }
+.context { width: 280px; padding: 12px 16px; border-right: 1px solid #ddd; }
+.context h2, .answers h2, .detail h2 { font-size: 14px; text-transform: uppercase; color: #666; }
+.main { flex: 1; padding: 12px 16px; }
+.answers { display: flex; flex-wrap: wrap; gap: 12px; }
+.answer { text-align: center; padding: 8px; border: 1px solid #ddd; border-radius: 6px; background: #fff; }
+.answer.selected { border-color: #2b3a55; box-shadow: 0 0 4px #2b3a55; }
+.answer a { text-decoration: none; color: #222; }
+.answer .attrs { font-weight: bold; font-size: 13px; max-width: 140px; }
+.answer .metrics { font-size: 10px; color: #777; max-width: 150px; }
+.segments { border-collapse: collapse; width: 100%; background: #fff; }
+.segments td, .segments th { border: 1px solid #e0e0e0; padding: 6px 8px; font-size: 13px; text-align: left; }
+.swatch { display: inline-block; width: 12px; height: 12px; border-radius: 2px; margin-right: 6px; }
+code { background: #f0f0f0; padding: 1px 4px; border-radius: 3px; font-size: 12px; }
+.zoom { font-size: 12px; }
+.error { color: #b00; padding: 8px 16px; }
+form.ctx input[type=text] { width: 100%; font-family: monospace; }
+</style></head>
+<body>
+<header><h1>Charles — big data query advisor</h1></header>
+{{if .Error}}<div class="error">{{.Error}}</div>{{end}}
+<div class="layout">
+  <div class="context">
+    <h2>Context</h2>
+    <form class="ctx" method="get" action="/">
+      <input type="text" name="context" value="{{.Context}}">
+      <input type="submit" value="Go!">
+    </form>
+    <p>{{.Rows}} rows in <b>{{.Table}}</b></p>
+    <p><code>{{.ContextSQL}}</code></p>
+  </div>
+  <div class="main">
+    <h2>Proposed segmentations</h2>
+    <div class="answers">
+      {{range .Answers}}
+      <div class="answer{{if eq .Index $.Selected}} selected{{end}}">
+        <a href="/?context={{$.Context}}&open={{.Index}}">
+          {{.Pie}}
+          <div class="attrs">{{.Attrs}}</div>
+          <div class="metrics">{{.Metrics}}</div>
+        </a>
+      </div>
+      {{end}}
+    </div>
+    {{with .Detail}}
+    <h2>Segmentation on {{.Attrs}}</h2>
+    <p>{{.Metrics}}</p>
+    {{.Pie}}
+    <table class="segments">
+      <tr><th></th><th>share</th><th>rows</th><th>SDL</th><th>SQL</th><th></th></tr>
+      {{range .Segments}}
+      <tr>
+        <td><span class="swatch" style="background:{{.Color}}"></span>{{.Index}}</td>
+        <td>{{.Percent}}</td>
+        <td>{{.Count}}</td>
+        <td><code>{{.SDL}}</code></td>
+        <td><code>{{.SQL}}</code></td>
+        <td class="zoom"><a href="/zoom?open={{$.Detail.Index}}&segment={{.Index}}">explore ➜</a></td>
+      </tr>
+      {{end}}
+    </table>
+    {{end}}
+  </div>
+</div>
+</body></html>`))

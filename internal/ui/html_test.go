@@ -1,0 +1,92 @@
+package ui
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPieSVGShape(t *testing.T) {
+	svg := string(PieSVG([]float64{0.5, 0.3, 0.2}, 100))
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("svg = %q", svg)
+	}
+	if strings.Count(svg, "<path") != 3 {
+		t.Fatalf("want 3 slices, svg = %q", svg)
+	}
+}
+
+func TestPieSVGSingleSlice(t *testing.T) {
+	svg := string(PieSVG([]float64{1}, 50))
+	if !strings.Contains(svg, "<circle") {
+		t.Fatalf("full pie should be a circle: %q", svg)
+	}
+}
+
+func TestPieSVGDegenerate(t *testing.T) {
+	if svg := string(PieSVG(nil, 50)); strings.Contains(svg, "path") {
+		t.Fatalf("empty pie has slices: %q", svg)
+	}
+	if svg := string(PieSVG([]float64{0, 0}, 50)); strings.Contains(svg, "path") {
+		t.Fatalf("zero pie has slices: %q", svg)
+	}
+	// Negative fractions are ignored, not rendered.
+	svg := string(PieSVG([]float64{-1, 1}, 50))
+	if strings.Count(svg, "<path")+strings.Count(svg, "<circle") != 1 {
+		t.Fatalf("negative fraction rendered: %q", svg)
+	}
+}
+
+func TestPieSVGMajoritySliceUsesLargeArc(t *testing.T) {
+	svg := string(PieSVG([]float64{0.8, 0.2}, 100))
+	if !strings.Contains(svg, " 1 1 ") {
+		t.Fatalf("majority slice must set the large-arc flag: %q", svg)
+	}
+}
+
+func TestSliceColorCycles(t *testing.T) {
+	if SliceColor(0) != SliceColor(len(pieColors)) {
+		t.Fatal("colors do not cycle")
+	}
+}
+
+func TestBuildPageAndTemplate(t *testing.T) {
+	res, ctx, _ := sampleResult(t)
+	pd := BuildPage("figure3", ctx, 2000, res, 0)
+	if len(pd.Answers) != len(res.Segmentations) {
+		t.Fatalf("answers = %d", len(pd.Answers))
+	}
+	if pd.Detail == nil || len(pd.Detail.Segments) != res.Segmentations[0].Seg.Depth() {
+		t.Fatal("detail view missing or wrong size")
+	}
+	var buf bytes.Buffer
+	if err := PageTemplate.Execute(&buf, pd); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{"Charles", "figure3", "<svg", "explore ➜", "SELECT * FROM"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("page missing %q", want)
+		}
+	}
+}
+
+func TestBuildPageNoSelection(t *testing.T) {
+	res, ctx, _ := sampleResult(t)
+	pd := BuildPage("figure3", ctx, 2000, res, -1)
+	if pd.Detail != nil {
+		t.Fatal("detail rendered without selection")
+	}
+	var buf bytes.Buffer
+	if err := PageTemplate.Execute(&buf, pd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPageSelectionOutOfRange(t *testing.T) {
+	res, ctx, _ := sampleResult(t)
+	pd := BuildPage("figure3", ctx, 2000, res, 999)
+	if pd.Detail != nil {
+		t.Fatal("out-of-range selection produced a detail view")
+	}
+}

@@ -1,0 +1,117 @@
+// Package ui renders Charles' output for humans: a text rendering of
+// the three-panel interface of Figure 1 (context, ranked answer
+// list, segment detail) for the terminal, and an HTML/SVG rendering
+// with pie charts for the web front-end — the paper notes the GUI
+// "can be turned into a fancy web-application readily".
+package ui
+
+import (
+	"fmt"
+	"strings"
+
+	"charles/internal/core"
+	"charles/internal/sdl"
+	"charles/internal/seg"
+)
+
+// BarWidth is the character width of proportion bars.
+const BarWidth = 24
+
+// Bar renders a proportion in [0,1] as a filled bar of BarWidth
+// cells.
+func Bar(fraction float64) string {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	filled := int(fraction*BarWidth + 0.5)
+	return strings.Repeat("█", filled) + strings.Repeat("░", BarWidth-filled)
+}
+
+// FormatMetrics renders the Section 3 criteria on one line.
+func FormatMetrics(m seg.Metrics) string {
+	return fmt.Sprintf("entropy=%.3f bits  depth=%d  breadth=%d  simplicity=%d  balance=%.2f",
+		m.Entropy, m.Depth, m.Breadth, m.Simplicity, m.Balance)
+}
+
+// RenderSegmentation renders one segmentation's segments as
+// proportion bars with their SDL descriptions — the main panel of
+// Figure 1.
+func RenderSegmentation(s *seg.Segmentation) string {
+	var b strings.Builder
+	total := s.Total()
+	for i, q := range s.Queries {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(s.Counts[i]) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %s %5.1f%%  %6d rows  %s\n",
+			Bar(frac), frac*100, s.Counts[i], describeQuery(q, s.CutAttrs))
+	}
+	return b.String()
+}
+
+// describeQuery prints only the predicates the segmentation is based
+// on, the way Figure 1 labels pie slices (the inherited context
+// predicates are shown once, in the context panel).
+func describeQuery(q sdl.Query, cutAttrs []string) string {
+	if len(cutAttrs) == 0 {
+		return q.String()
+	}
+	parts := make([]string, 0, len(cutAttrs))
+	for _, attr := range cutAttrs {
+		if c, ok := q.Constraint(attr); ok && !c.IsAny() {
+			parts = append(parts, c.String())
+		}
+	}
+	if len(parts) == 0 {
+		return q.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// RenderContext renders the left panel of Figure 1: the columns of
+// interest and any a-priori value constraints.
+func RenderContext(q sdl.Query, totalRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Context (%d rows):\n", totalRows)
+	for _, c := range q.Constraints() {
+		if c.IsAny() {
+			fmt.Fprintf(&b, "  %s\n", c.Attr)
+		} else {
+			fmt.Fprintf(&b, "  %s\n", c.String())
+		}
+	}
+	return b.String()
+}
+
+// RenderRanked renders the ranked answer list — the top panel of
+// Figure 1 — showing up to top segmentations with their attribute
+// sets and metrics, followed by the detailed view of each.
+func RenderRanked(res *core.Result, top int) string {
+	var b strings.Builder
+	n := len(res.Segmentations)
+	if top > 0 && top < n {
+		n = top
+	}
+	fmt.Fprintf(&b, "Charles proposes %d segmentations (showing %d), stop: %s\n",
+		len(res.Segmentations), n, res.StopReason)
+	if len(res.SkippedAttrs) > 0 {
+		fmt.Fprintf(&b, "skipped constant attributes: %s\n", strings.Join(res.SkippedAttrs, ", "))
+	}
+	for i := 0; i < n; i++ {
+		sc := res.Segmentations[i]
+		fmt.Fprintf(&b, "\n#%d  on [%s]  %s\n", i+1,
+			strings.Join(sc.Seg.CutAttrs, ", "), FormatMetrics(sc.Metrics))
+		b.WriteString(RenderSegmentation(sc.Seg))
+	}
+	return b.String()
+}
+
+// RenderSQL shows the drill-down query for a selected segment — the
+// "submit it for further exploration" step.
+func RenderSQL(q sdl.Query, table string) string {
+	return sdl.SelectStar(q, table)
+}
