@@ -1,0 +1,38 @@
+# Single source of truth for the build-and-verify loop: CI runs
+# exactly these targets, so "works in CI" and "works locally" mean
+# the same commands.
+
+GO ?= go
+
+.PHONY: all build test test-race bench bench-smoke fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (slow; regenerates every paper experiment).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves they still run, in CI time.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test-race bench-smoke

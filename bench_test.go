@@ -445,6 +445,56 @@ func BenchmarkSDLParse(b *testing.B) {
 	}
 }
 
+// BenchmarkE12WorkersScaling measures the tentpole claim: advise
+// over VOC 50k with the fan-out bounded at 1, 2, 4 and all-CPU
+// workers. The ranked output is identical at every width (pinned by
+// TestWorkersDeterministic); only the wall-clock should move. On a
+// multi-core machine Workers=4 must beat Workers=1 clearly; on a
+// single core the widths tie, which is the degenerate check that
+// the fan-out adds no meaningful overhead.
+func BenchmarkE12WorkersScaling(b *testing.B) {
+	tab := table(b, "voc", 50000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13ConcurrentSessions measures the multi-session story:
+// b.RunParallel advising goroutines sharing one evaluator, the
+// server's deployment shape.
+func BenchmarkE13ConcurrentSessions(b *testing.B) {
+	tab := table(b, "voc", 50000, 1)
+	ctx := contextOn(b, tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	ev := seg.NewEvaluator(tab)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1 // parallelism across sessions, not within one
+	engine.SetScanWorkers(1)
+	defer engine.SetScanWorkers(0)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkAdvisorFacade(b *testing.B) {
 	tab := charles.GenerateVOC(10000, 1)
 	adv := charles.NewAdvisor(tab, charles.DefaultConfig())

@@ -5,6 +5,12 @@
 // on a segment re-roots the context on that segment's query — the
 // interactive loop of the paper.
 //
+// The server is multi-session: every browser gets its own
+// exploration state (current context + advice), identified by a
+// cookie, while all sessions share one read-only table and one
+// concurrency-safe advisor, so simultaneous users reuse each other's
+// cached selections.
+//
 // Usage:
 //
 //	charles-server -dataset voc -rows 50000 -addr :8080
@@ -12,26 +18,66 @@
 package main
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"charles"
 	"charles/internal/ui"
 )
 
-// session holds the single-user exploration state: the current
-// context and its advice. A mutex guards it because net/http serves
-// concurrently while the evaluator is single-session.
+// maxSessions bounds the exploration states kept in memory; beyond
+// it the least recently used session is evicted (its browser simply
+// starts a fresh exploration on its next request).
+const maxSessions = 1024
+
+// sessionCookie names the cookie carrying the session id.
+const sessionCookie = "charles_session"
+
+// evaluatorCacheLimit bounds the shared evaluator's selection cache:
+// users type arbitrary contexts, and without a cap each distinct
+// query would pin rows-sized selections in memory forever.
+const evaluatorCacheLimit = 1 << 16
+
+// session holds one user's exploration state. Its mutex serializes
+// that user's requests only; different sessions advise concurrently
+// on the shared advisor.
 type session struct {
-	mu  sync.Mutex
-	adv *charles.Advisor
-	ctx charles.Query
-	res *charles.Result
+	mu       sync.Mutex
+	ctx      charles.Query
+	res      *charles.Result
+	lastUsed time.Time
+	// requests counts how often the session's cookie came back; 1
+	// means the client never returned it (crawlers, health checks),
+	// which makes the session the preferred eviction victim.
+	requests int
+}
+
+// server is the multi-session advisory service: one shared advisor
+// over the read-only table, plus per-user sessions.
+type server struct {
+	adv        *charles.Advisor
+	initialCtx charles.Query
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newServer(adv *charles.Advisor, initialCtx charles.Query) *server {
+	adv.Evaluator().SetCacheLimit(evaluatorCacheLimit)
+	return &server{
+		adv:        adv,
+		initialCtx: initialCtx,
+		sessions:   make(map[string]*session),
+	}
 }
 
 func main() {
@@ -42,6 +88,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		addr    = flag.String("addr", ":8080", "listen address")
 		context = flag.String("context", "", "initial SDL context (empty = all columns)")
+		workers = flag.Int("workers", 0, "advisor worker goroutines per advise (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -56,33 +103,134 @@ func main() {
 		fmt.Fprintln(os.Stderr, "charles-server:", err)
 		os.Exit(1)
 	}
-	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	cfg := charles.DefaultConfig()
+	cfg.Workers = *workers
+	adv := charles.NewAdvisor(tab, cfg)
 	ctx, err := adv.ParseContext(*context)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charles-server:", err)
 		os.Exit(1)
 	}
-	s := &session{adv: adv, ctx: ctx}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/zoom", s.handleZoom)
-	log.Printf("charles-server: advising on %q (%d rows) at http://localhost%s/",
-		tab.Name(), tab.NumRows(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	srv := newServer(adv, ctx)
+	display := *addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
+	log.Printf("charles-server: advising on %q (%d rows) at http://%s/",
+		tab.Name(), tab.NumRows(), display)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
 }
 
-// handleIndex advises on ?context= (or the current context) and
-// renders the page, optionally opening answer ?open=.
-func (s *session) handleIndex(w http.ResponseWriter, r *http.Request) {
+// mux wires the handlers.
+func (sv *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", sv.handleIndex)
+	mux.HandleFunc("/zoom", sv.handleZoom)
+	return mux
+}
+
+// newSessionID returns a random 128-bit hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// getSession resolves the request's session from its cookie,
+// creating one (and setting the cookie) on first contact or after
+// eviction. It also stamps lastUsed and evicts the stalest session
+// over the cap.
+func (sv *server) getSession(w http.ResponseWriter, r *http.Request) *session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		if s, ok := sv.sessions[c.Value]; ok {
+			s.lastUsed = time.Now()
+			s.requests++
+			return s
+		}
+	}
+	id := newSessionID()
+	s := &session{ctx: sv.initialCtx, lastUsed: time.Now(), requests: 1}
+	sv.sessions[id] = s
+	if len(sv.sessions) > maxSessions {
+		sv.evictLocked(id)
+	}
+	http.SetCookie(w, &http.Cookie{
+		Name:     sessionCookie,
+		Value:    id,
+		Path:     "/",
+		HttpOnly: true,
+		SameSite: http.SameSiteLaxMode,
+	})
+	return s
+}
+
+// evictLocked drops one session to stay under the cap, sparing
+// keep. Never-revisited sessions (cookie-less crawlers and health
+// checks) go first, oldest of them; only when every session is a
+// returning browser does true LRU apply, so probe floods cannot
+// push real users' exploration state out.
+func (sv *server) evictLocked(keep string) {
+	victimID, victim := "", (*session)(nil)
+	for sid, sess := range sv.sessions {
+		if sid == keep {
+			continue
+		}
+		if victim == nil {
+			victimID, victim = sid, sess
+			continue
+		}
+		vOnce, sOnce := victim.requests <= 1, sess.requests <= 1
+		switch {
+		case sOnce && !vOnce:
+			victimID, victim = sid, sess
+		case sOnce == vOnce && sess.lastUsed.Before(victim.lastUsed):
+			victimID, victim = sid, sess
+		}
+	}
+	if victim != nil {
+		delete(sv.sessions, victimID)
+	}
+}
+
+// requireGet answers 405 for every method but GET (and HEAD, which
+// net/http treats as GET for handlers).
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// handleIndex advises on ?context= (or the session's current
+// context) and renders the page, optionally opening answer ?open=.
+func (sv *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
+	if !requireGet(w, r) {
+		return
+	}
+	s := sv.getSession(w, r)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	errMsg := ""
 	if qs := r.URL.Query().Get("context"); qs != "" {
-		ctx, err := s.adv.ParseContext(qs)
+		ctx, err := sv.adv.ParseContext(qs)
 		if err != nil {
 			errMsg = err.Error()
 		} else if !ctx.Equal(s.ctx) {
@@ -91,9 +239,9 @@ func (s *session) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.res == nil {
-		res, err := s.adv.Advise(s.ctx)
+		res, err := sv.adv.Advise(s.ctx)
 		if err != nil {
-			s.render(w, charles.Query{}, nil, -1, "advise: "+err.Error())
+			sv.render(w, charles.Query{}, nil, -1, "advise: "+err.Error())
 			return
 		}
 		s.res = res
@@ -107,17 +255,21 @@ func (s *session) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if open < 0 && len(s.res.Segmentations) > 0 {
 		open = 0
 	}
-	s.render(w, s.ctx, s.res, open, errMsg)
+	sv.render(w, s.ctx, s.res, open, errMsg)
 }
 
-// handleZoom re-roots the context on a segment of the current
-// result.
-func (s *session) handleZoom(w http.ResponseWriter, r *http.Request) {
+// handleZoom re-roots the session's context on a segment of its
+// current result.
+func (sv *server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	s := sv.getSession(w, r)
 	s.mu.Lock()
 	answer, _ := strconv.Atoi(r.URL.Query().Get("open"))
 	segment, _ := strconv.Atoi(r.URL.Query().Get("segment"))
 	if s.res != nil {
-		if q, err := s.adv.Zoom(s.res, answer, segment); err == nil {
+		if q, err := sv.adv.Zoom(s.res, answer, segment); err == nil {
 			s.ctx = q
 			s.res = nil
 		}
@@ -126,18 +278,18 @@ func (s *session) handleZoom(w http.ResponseWriter, r *http.Request) {
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
 
-func (s *session) render(w http.ResponseWriter, ctx charles.Query, res *charles.Result, open int, errMsg string) {
+func (sv *server) render(w http.ResponseWriter, ctx charles.Query, res *charles.Result, open int, errMsg string) {
 	rows := 0
 	if res != nil {
-		if n, err := s.adv.Count(ctx); err == nil {
+		if n, err := sv.adv.Count(ctx); err == nil {
 			rows = n
 		}
 	}
 	var pd ui.PageData
 	if res != nil {
-		pd = ui.BuildPage(s.adv.Table().Name(), ctx, rows, res, open)
+		pd = ui.BuildPage(sv.adv.Table().Name(), ctx, rows, res, open)
 	} else {
-		pd = ui.PageData{Table: s.adv.Table().Name(), Selected: -1}
+		pd = ui.PageData{Table: sv.adv.Table().Name(), Selected: -1}
 	}
 	pd.Error = errMsg
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

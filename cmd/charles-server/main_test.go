@@ -1,17 +1,20 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"charles"
 )
 
-func testSession(t *testing.T) *session {
+func testServer(t *testing.T) *server {
 	t.Helper()
 	tab := charles.GenerateVOC(2000, 1)
 	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
@@ -19,25 +22,66 @@ func testSession(t *testing.T) *session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &session{adv: adv, ctx: ctx}
+	return newServer(adv, ctx)
 }
 
-func get(t *testing.T, h http.HandlerFunc, target string) (*http.Response, string) {
-	t.Helper()
-	req := httptest.NewRequest(http.MethodGet, target, nil)
+// client drives the server's mux like one browser: it remembers the
+// session cookie across requests.
+type client struct {
+	t       *testing.T
+	mux     *http.ServeMux
+	session *http.Cookie
+}
+
+func newClient(t *testing.T, sv *server) *client {
+	return &client{t: t, mux: sv.mux()}
+}
+
+func (c *client) do(method, target string) (*http.Response, string) {
+	c.t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	if c.session != nil {
+		req.AddCookie(c.session)
+	}
 	rec := httptest.NewRecorder()
-	h(rec, req)
+	c.mux.ServeHTTP(rec, req)
 	res := rec.Result()
+	for _, ck := range res.Cookies() {
+		if ck.Name == sessionCookie {
+			c.session = &http.Cookie{Name: ck.Name, Value: ck.Value}
+		}
+	}
 	body, err := io.ReadAll(res.Body)
 	if err != nil {
-		t.Fatal(err)
+		c.t.Fatal(err)
 	}
 	return res, string(body)
 }
 
+func (c *client) get(target string) (*http.Response, string) {
+	c.t.Helper()
+	return c.do(http.MethodGet, target)
+}
+
+// sessionState returns the client's server-side session for white-box
+// assertions.
+func (c *client) sessionState(sv *server) *session {
+	c.t.Helper()
+	if c.session == nil {
+		c.t.Fatal("client has no session cookie yet")
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	s, ok := sv.sessions[c.session.Value]
+	if !ok {
+		c.t.Fatal("session cookie unknown to server")
+	}
+	return s
+}
+
 func TestIndexRendersFigure1Panels(t *testing.T) {
-	s := testSession(t)
-	res, body := get(t, s.handleIndex, "/")
+	sv := testServer(t)
+	res, body := newClient(t, sv).get("/")
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", res.StatusCode)
 	}
@@ -56,20 +100,21 @@ func TestIndexRendersFigure1Panels(t *testing.T) {
 }
 
 func TestIndexOpensRequestedAnswer(t *testing.T) {
-	s := testSession(t)
-	_, body := get(t, s.handleIndex, "/?open=1")
+	sv := testServer(t)
+	_, body := newClient(t, sv).get("/?open=1")
 	if !strings.Contains(body, "Segmentation on") {
 		t.Fatal("detail panel missing")
 	}
 }
 
 func TestIndexContextChangeReAdvises(t *testing.T) {
-	s := testSession(t)
-	get(t, s.handleIndex, "/")
-	firstCtx := s.ctx.String()
+	sv := testServer(t)
+	c := newClient(t, sv)
+	c.get("/")
+	firstCtx := c.sessionState(sv).ctx.String()
 	newCtx := url.QueryEscape("(tonnage:, trip:)")
-	_, body := get(t, s.handleIndex, "/?context="+newCtx)
-	if s.ctx.String() == firstCtx {
+	_, body := c.get("/?context=" + newCtx)
+	if c.sessionState(sv).ctx.String() == firstCtx {
 		t.Fatal("context did not change")
 	}
 	if !strings.Contains(body, "trip") {
@@ -78,9 +123,10 @@ func TestIndexContextChangeReAdvises(t *testing.T) {
 }
 
 func TestIndexBadContextShowsError(t *testing.T) {
-	s := testSession(t)
-	get(t, s.handleIndex, "/") // prime a valid result
-	_, body := get(t, s.handleIndex, "/?context="+url.QueryEscape("(ghost:)"))
+	sv := testServer(t)
+	c := newClient(t, sv)
+	c.get("/") // prime a valid result
+	_, body := c.get("/?context=" + url.QueryEscape("(ghost:)"))
 	if !strings.Contains(body, "no column") {
 		t.Fatal("bind error not surfaced")
 	}
@@ -91,37 +137,140 @@ func TestIndexBadContextShowsError(t *testing.T) {
 }
 
 func TestIndexNotFoundOnOtherPaths(t *testing.T) {
-	s := testSession(t)
-	res, _ := get(t, s.handleIndex, "/favicon.ico")
+	sv := testServer(t)
+	res, _ := newClient(t, sv).get("/favicon.ico")
 	if res.StatusCode != http.StatusNotFound {
 		t.Fatalf("status = %d", res.StatusCode)
 	}
 }
 
+func TestNonGetMethodsRejected(t *testing.T) {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	for _, target := range []string{"/", "/zoom"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			res, _ := c.do(method, target)
+			if res.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status = %d, want 405", method, target, res.StatusCode)
+			}
+			if allow := res.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+				t.Fatalf("%s %s: Allow = %q", method, target, allow)
+			}
+		}
+	}
+}
+
 func TestZoomReRootsContext(t *testing.T) {
-	s := testSession(t)
-	get(t, s.handleIndex, "/") // populate s.res
-	before := s.ctx.String()
-	res, _ := get(t, s.handleZoom, "/zoom?open=0&segment=0")
+	sv := testServer(t)
+	c := newClient(t, sv)
+	c.get("/") // populate the session's result
+	before := c.sessionState(sv).ctx.String()
+	res, _ := c.get("/zoom?open=0&segment=0")
 	if res.StatusCode != http.StatusSeeOther {
 		t.Fatalf("status = %d", res.StatusCode)
 	}
-	if s.ctx.String() == before {
+	if c.sessionState(sv).ctx.String() == before {
 		t.Fatal("zoom did not change the context")
 	}
 	// Follow the redirect: the page advises on the zoomed context.
-	_, body := get(t, s.handleIndex, "/")
+	_, body := c.get("/")
 	if !strings.Contains(body, "Proposed segmentations") {
 		t.Fatal("post-zoom page broken")
 	}
 }
 
 func TestZoomOutOfRangeKeepsContext(t *testing.T) {
-	s := testSession(t)
-	get(t, s.handleIndex, "/")
-	before := s.ctx.String()
-	get(t, s.handleZoom, "/zoom?open=99&segment=0")
-	if s.ctx.String() != before {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	c.get("/")
+	before := c.sessionState(sv).ctx.String()
+	c.get("/zoom?open=99&segment=0")
+	if c.sessionState(sv).ctx.String() != before {
 		t.Fatal("invalid zoom changed the context")
 	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	sv := testServer(t)
+	alice, bob := newClient(t, sv), newClient(t, sv)
+	alice.get("/")
+	bob.get("/")
+	if alice.session.Value == bob.session.Value {
+		t.Fatal("two browsers got the same session id")
+	}
+	// Alice zooms; Bob's context must not move.
+	bobCtx := bob.sessionState(sv).ctx.String()
+	alice.get("/zoom?open=0&segment=0")
+	if bob.sessionState(sv).ctx.String() != bobCtx {
+		t.Fatal("alice's zoom changed bob's context")
+	}
+	if alice.sessionState(sv).ctx.String() == bobCtx {
+		t.Fatal("alice's zoom did not change her own context")
+	}
+}
+
+func TestSessionSurvivesAcrossRequests(t *testing.T) {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	c.get("/")
+	first := c.session.Value
+	c.get("/?open=1")
+	if c.session.Value != first {
+		t.Fatal("session id changed between requests")
+	}
+	sv.mu.Lock()
+	n := len(sv.sessions)
+	sv.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("server holds %d sessions for one browser", n)
+	}
+}
+
+func TestEvictionPrefersNeverRevisitedSessions(t *testing.T) {
+	sv := testServer(t)
+	now := time.Now()
+	// An old returning browser and a flood of newer one-shot probes.
+	sv.sessions["browser"] = &session{lastUsed: now.Add(-time.Hour), requests: 5}
+	for i := 0; i < 3; i++ {
+		sv.sessions[fmt.Sprintf("probe%d", i)] = &session{lastUsed: now.Add(-time.Duration(i) * time.Minute), requests: 1}
+	}
+	sv.evictLocked("keepme")
+	if _, ok := sv.sessions["browser"]; !ok {
+		t.Fatal("eviction dropped the returning browser instead of a probe")
+	}
+	if _, ok := sv.sessions["probe2"]; ok {
+		t.Fatal("eviction spared the oldest never-revisited probe")
+	}
+	// Only returning browsers left: plain LRU applies.
+	sv.sessions = map[string]*session{
+		"old": {lastUsed: now.Add(-time.Hour), requests: 2},
+		"new": {lastUsed: now, requests: 2},
+	}
+	sv.evictLocked("")
+	if _, ok := sv.sessions["old"]; ok {
+		t.Fatal("LRU among returning browsers did not drop the oldest")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	sv := testServer(t)
+	const users = 8
+	var wg sync.WaitGroup
+	wg.Add(users)
+	for u := 0; u < users; u++ {
+		go func() {
+			defer wg.Done()
+			c := newClient(t, sv)
+			if res, _ := c.get("/"); res.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", res.StatusCode)
+				return
+			}
+			c.get("/zoom?open=0&segment=0")
+			if res, body := c.get("/"); res.StatusCode != http.StatusOK ||
+				!strings.Contains(body, "Proposed segmentations") {
+				t.Errorf("post-zoom page broken for a concurrent user")
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,3 @@
+module charles
+
+go 1.24

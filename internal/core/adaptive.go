@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"charles/internal/par"
 	"charles/internal/sdl"
 	"charles/internal/seg"
 )
@@ -46,25 +47,40 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 			}
 		}
 		targetQuery := cur.Queries[target]
-		bestAttr, bestChildren := "", []sdl.Query(nil)
-		bestFresh, bestBalance := false, -1.0
-		for _, attr := range attrs {
-			children, err := seg.CutQuery(ev, targetQuery, attr, cfg.Cut)
+		// Trial-cut the target on every attribute across the worker
+		// pool; the pick below scans the trials in attribute order,
+		// so the greedy choice matches the sequential one exactly.
+		trials := make([]splitTrial, len(attrs))
+		err := par.ForEach(cfg.Workers, len(attrs), func(k int) error {
+			children, err := seg.CutQuery(ev, targetQuery, attrs[k], cfg.Cut)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if len(children) < 2 {
-				continue
+				return nil
 			}
 			counts := make([]int, len(children))
 			for i, q := range children {
 				n, err := ev.Count(q)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				counts[i] = n
 			}
-			bal := (&seg.Segmentation{Queries: children, Counts: counts}).Balance()
+			trials[k] = splitTrial{children: children, counts: counts}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestAttr, bestChildren := "", []sdl.Query(nil)
+		bestCounts := []int(nil)
+		bestFresh, bestBalance := false, -1.0
+		for k, attr := range attrs {
+			if trials[k].children == nil {
+				continue
+			}
+			bal := (&seg.Segmentation{Queries: trials[k].children, Counts: trials[k].counts}).Balance()
 			c, constrained := targetQuery.Constraint(attr)
 			fresh := !constrained || c.IsAny()
 			better := false
@@ -75,7 +91,7 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 				better = true
 			}
 			if better {
-				bestAttr, bestChildren = attr, children
+				bestAttr, bestChildren, bestCounts = attr, trials[k].children, trials[k].counts
 				bestFresh, bestBalance = fresh, bal
 			}
 		}
@@ -90,16 +106,12 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 				next.Counts = append(next.Counts, cur.Counts[i])
 				continue
 			}
-			for _, child := range bestChildren {
-				n, err := ev.Count(child)
-				if err != nil {
-					return nil, err
-				}
-				if n == 0 {
+			for j, child := range bestChildren {
+				if bestCounts[j] == 0 {
 					continue
 				}
 				next.Queries = append(next.Queries, child)
-				next.Counts = append(next.Counts, n)
+				next.Counts = append(next.Counts, bestCounts[j])
 			}
 		}
 		cur = next
@@ -107,6 +119,12 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 	}
 	sortScored(out)
 	return out, nil
+}
+
+// splitTrial holds one attribute's trial cut of the target segment.
+type splitTrial struct {
+	children []sdl.Query
+	counts   []int
 }
 
 func mergeAttrList(attrs []string, attr string) []string {

@@ -10,6 +10,7 @@ package core
 import (
 	"sort"
 
+	"charles/internal/par"
 	"charles/internal/seg"
 )
 
@@ -57,6 +58,12 @@ type Config struct {
 	// Score ranks the output; nil means EntropyScore (the paper
 	// returns results "by order of entropy").
 	Score ScoreFunc
+	// Workers bounds the fan-out of the advisor core: initial cuts,
+	// per-step INDEP pair evaluations and adaptive attribute search
+	// run on at most this many goroutines. Values below 1 mean one
+	// worker per available CPU (runtime.GOMAXPROCS). The ranked
+	// output is identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration: maxIndep 0.99,
@@ -83,6 +90,7 @@ func (c Config) normalize() Config {
 	if c.Score == nil {
 		c.Score = EntropyScore
 	}
+	c.Workers = par.Workers(c.Workers)
 	return c
 }
 

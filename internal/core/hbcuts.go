@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"charles/internal/par"
 	"charles/internal/sdl"
 	"charles/internal/seg"
 )
@@ -138,17 +139,38 @@ func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, err
 	}
 	// Figure 4 lines 3-5: one binary cut per context attribute. By
 	// convention exploration is restricted to the columns the user
-	// mentioned (Section 2).
-	for _, attr := range context.Attrs() {
-		s, ok, err := seg.InitialCut(ev, context, attr, cfg.Cut)
+	// mentioned (Section 2). The cuts are independent, so they fan
+	// out across the worker pool; merging in attribute order keeps
+	// candidate ids — and therefore the whole run — deterministic.
+	attrs := context.Attrs()
+	// Prime the context selection before fanning out: every initial
+	// cut starts from it, and on a cold cache W workers would all
+	// miss the same key at once and each pay the full-table scan.
+	if _, err := ev.Select(context); err != nil {
+		return nil, err
+	}
+	type initial struct {
+		seg *seg.Segmentation
+		ok  bool
+	}
+	cuts := make([]initial, len(attrs))
+	err := par.ForEach(cfg.Workers, len(attrs), func(i int) error {
+		s, ok, err := seg.InitialCut(ev, context, attrs[i], cfg.Cut)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if !ok {
+		cuts[i] = initial{seg: s, ok: ok}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, attr := range attrs {
+		if !cuts[i].ok {
 			st.res.SkippedAttrs = append(st.res.SkippedAttrs, attr)
 			continue
 		}
-		st.cand = append(st.cand, candidate{id: st.nextID, seg: s})
+		st.cand = append(st.cand, candidate{id: st.nextID, seg: cuts[i].seg})
 		st.nextID++
 	}
 	if len(st.cand) == 0 {
@@ -228,13 +250,46 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 		ind, err := st.pairIndep(st.cand[i], st.cand[j])
 		return i, j, ind, err
 	}
-	bestI, bestJ, bestInd := -1, -1, 0.0
-	for i := 0; i < len(st.cand); i++ {
-		for j := i + 1; j < len(st.cand); j++ {
-			ind, err := st.pairIndep(st.cand[i], st.cand[j])
-			if err != nil {
-				return 0, 0, 0, err
+	// Evaluate the INDEP quotients the pair cache is missing across
+	// the worker pool, then merge and argmin-scan sequentially in
+	// (i, j) order — the same winner a sequential pass picks, at a
+	// fraction of the wall-clock.
+	type missing struct {
+		i, j int
+		key  [2]int
+		val  float64
+	}
+	n := len(st.cand)
+	var todo []missing
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			key := pairKey(st.cand[i], st.cand[j])
+			if _, ok := st.indep[key]; ok {
+				st.res.IndepCacheHits++
+				continue
 			}
+			todo = append(todo, missing{i: i, j: j, key: key})
+		}
+	}
+	err := par.ForEach(st.cfg.Workers, len(todo), func(k int) error {
+		v, err := seg.Indep(st.ev, st.cand[todo[k].i].seg, st.cand[todo[k].j].seg)
+		if err != nil {
+			return err
+		}
+		todo[k].val = v
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, m := range todo {
+		st.indep[m.key] = m.val
+		st.res.IndepEvals++
+	}
+	bestI, bestJ, bestInd := -1, -1, 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ind := st.indep[pairKey(st.cand[i], st.cand[j])]
 			if bestI < 0 || ind < bestInd {
 				bestI, bestJ, bestInd = i, j, ind
 			}
@@ -243,11 +298,16 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 	return bestI, bestJ, bestInd, nil
 }
 
-func (st *hbState) pairIndep(a, b candidate) (float64, error) {
+func pairKey(a, b candidate) [2]int {
 	key := [2]int{a.id, b.id}
 	if key[0] > key[1] {
 		key[0], key[1] = key[1], key[0]
 	}
+	return key
+}
+
+func (st *hbState) pairIndep(a, b candidate) (float64, error) {
+	key := pairKey(a, b)
 	if v, ok := st.indep[key]; ok {
 		st.res.IndepCacheHits++
 		return v, nil

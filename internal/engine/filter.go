@@ -35,26 +35,36 @@ func (r FloatRange) Contains(v float64) bool {
 	return true
 }
 
+// The filters below all narrow a sorted selection by one typed
+// predicate. Each routes through parallelFilter: large selections
+// are scanned chunk-at-a-time on all scan workers, small ones on the
+// calling goroutine, and either way the typed inner loop runs over a
+// contiguous sub-selection with no per-row indirection.
+
 // FilterIntRange narrows sel to rows whose column value lies in r.
 func FilterIntRange(col IntValued, sel Selection, r IntRange) Selection {
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		if r.Contains(col.Int64(int(row))) {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			if r.Contains(col.Int64(int(row))) {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // FilterFloatRange narrows sel to rows whose column value lies in r.
 func FilterFloatRange(col FloatValued, sel Selection, r FloatRange) Selection {
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		if r.Contains(col.Float64(int(row))) {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			if r.Contains(col.Float64(int(row))) {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // FilterStringSet narrows sel to rows whose string value is one of
@@ -73,14 +83,16 @@ func FilterStringSet(col *StringColumn, sel Selection, values []string) Selectio
 	if len(want) == 0 {
 		return Selection{}
 	}
-	out := make(Selection, 0, len(sel))
 	codes := col.Codes()
-	for _, row := range sel {
-		if _, ok := want[codes[row]]; ok {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			if _, ok := want[codes[row]]; ok {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // FilterIntSet narrows sel to rows whose int64 value appears in
@@ -93,13 +105,15 @@ func FilterIntSet(col IntValued, sel Selection, values []int64) Selection {
 	for _, v := range values {
 		want[v] = struct{}{}
 	}
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		if _, ok := want[col.Int64(int(row))]; ok {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			if _, ok := want[col.Int64(int(row))]; ok {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // FilterFloatSet narrows sel to rows whose float64 value appears in
@@ -112,13 +126,15 @@ func FilterFloatSet(col FloatValued, sel Selection, values []float64) Selection 
 	for _, v := range values {
 		want[v] = struct{}{}
 	}
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		if _, ok := want[col.Float64(int(row))]; ok {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			if _, ok := want[col.Float64(int(row))]; ok {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // FilterStringRange narrows sel to rows whose string value lies in
@@ -126,18 +142,20 @@ func FilterFloatSet(col FloatValued, sel Selection, values []float64) Selection 
 // SDL never generates string ranges from cuts, but users may type
 // them; this is the completeness path.
 func FilterStringRange(col *StringColumn, sel Selection, lo, hi string, loIncl, hiIncl bool) Selection {
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		v := col.Str(int(row))
-		if v < lo || (v == lo && !loIncl) {
-			continue
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			v := col.Str(int(row))
+			if v < lo || (v == lo && !loIncl) {
+				continue
+			}
+			if v > hi || (v == hi && !hiIncl) {
+				continue
+			}
+			out = append(out, row)
 		}
-		if v > hi || (v == hi && !hiIncl) {
-			continue
-		}
-		out = append(out, row)
-	}
-	return out
+		return out
+	})
 }
 
 // FilterBoolSet narrows sel to rows whose boolean value appears in
@@ -151,12 +169,14 @@ func FilterBoolSet(col *BoolColumn, sel Selection, values []bool) Selection {
 			wantFalse = true
 		}
 	}
-	out := make(Selection, 0, len(sel))
-	for _, row := range sel {
-		v := col.Bool(int(row))
-		if (v && wantTrue) || (!v && wantFalse) {
-			out = append(out, row)
+	return parallelFilter(sel, func(part Selection) Selection {
+		out := make(Selection, 0, len(part))
+		for _, row := range part {
+			v := col.Bool(int(row))
+			if (v && wantTrue) || (!v && wantFalse) {
+				out = append(out, row)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }

@@ -1,16 +1,25 @@
 package engine
 
 import (
+	"math"
+
 	"charles/internal/stats"
 )
 
 // GatherInt materializes the int64 values of col at the selected
-// rows. Works for integer and date columns alike.
+// rows. Works for integer and date columns alike. Large selections
+// scatter chunk-at-a-time on all scan workers.
 func GatherInt(col IntValued, sel Selection) []int64 {
 	out := make([]int64, len(sel))
-	for i, row := range sel {
-		out[i] = col.Int64(int(row))
-	}
+	chunks, release := statChunks(sel)
+	defer release()
+	offsets := chunkOffsets(chunks)
+	runChunks(chunks, func(c int) {
+		base := offsets[c]
+		for i, row := range chunks[c] {
+			out[base+i] = col.Int64(int(row))
+		}
+	})
 	return out
 }
 
@@ -18,47 +27,105 @@ func GatherInt(col IntValued, sel Selection) []int64 {
 // rows.
 func GatherFloat(col FloatValued, sel Selection) []float64 {
 	out := make([]float64, len(sel))
-	for i, row := range sel {
-		out[i] = col.Float64(int(row))
-	}
+	chunks, release := statChunks(sel)
+	defer release()
+	offsets := chunkOffsets(chunks)
+	runChunks(chunks, func(c int) {
+		base := offsets[c]
+		for i, row := range chunks[c] {
+			out[base+i] = col.Float64(int(row))
+		}
+	})
 	return out
 }
 
+// chunkOffsets returns each chunk's starting position within the
+// original selection.
+func chunkOffsets(chunks []Selection) []int {
+	offsets := make([]int, len(chunks))
+	pos := 0
+	for i, c := range chunks {
+		offsets[i] = pos
+		pos += len(c)
+	}
+	return offsets
+}
+
 // IntMinMax returns the minimum and maximum of col over sel. ok is
-// false when the selection is empty.
+// false when the selection is empty. Large selections reduce
+// per-chunk partials computed on all scan workers.
 func IntMinMax(col IntValued, sel Selection) (min, max int64, ok bool) {
 	if len(sel) == 0 {
 		return 0, 0, false
 	}
-	min = col.Int64(int(sel[0]))
-	max = min
-	for _, row := range sel[1:] {
-		v := col.Int64(int(row))
-		if v < min {
-			min = v
+	chunks, release := statChunks(sel)
+	defer release()
+	mins := make([]int64, len(chunks))
+	maxs := make([]int64, len(chunks))
+	runChunks(chunks, func(c int) {
+		chunk := chunks[c]
+		lo := col.Int64(int(chunk[0]))
+		hi := lo
+		for _, row := range chunk[1:] {
+			v := col.Int64(int(row))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
 		}
-		if v > max {
-			max = v
+		mins[c], maxs[c] = lo, hi
+	})
+	min, max = mins[0], maxs[0]
+	for c := 1; c < len(chunks); c++ {
+		if mins[c] < min {
+			min = mins[c]
+		}
+		if maxs[c] > max {
+			max = maxs[c]
 		}
 	}
 	return min, max, true
 }
 
-// FloatMinMax returns the minimum and maximum of col over sel. ok is
-// false when the selection is empty.
+// FloatMinMax returns the minimum and maximum of col over sel,
+// ignoring NaN values — NaN compares false against everything, so
+// letting one seed a running bound would poison it and make the
+// result depend on where chunk boundaries fall. When every value is
+// NaN the bounds come back NaN. ok is false when the selection is
+// empty.
 func FloatMinMax(col FloatValued, sel Selection) (min, max float64, ok bool) {
 	if len(sel) == 0 {
 		return 0, 0, false
 	}
-	min = col.Float64(int(sel[0]))
-	max = min
-	for _, row := range sel[1:] {
-		v := col.Float64(int(row))
-		if v < min {
-			min = v
+	chunks, release := statChunks(sel)
+	defer release()
+	mins := make([]float64, len(chunks))
+	maxs := make([]float64, len(chunks))
+	runChunks(chunks, func(c int) {
+		lo, hi := math.NaN(), math.NaN()
+		for _, row := range chunks[c] {
+			v := col.Float64(int(row))
+			if v != v { // NaN
+				continue
+			}
+			if lo != lo || v < lo {
+				lo = v
+			}
+			if hi != hi || v > hi {
+				hi = v
+			}
 		}
-		if v > max {
-			max = v
+		mins[c], maxs[c] = lo, hi
+	})
+	min, max = math.NaN(), math.NaN()
+	for c := range chunks {
+		if mins[c] == mins[c] && (min != min || mins[c] < min) {
+			min = mins[c]
+		}
+		if maxs[c] == maxs[c] && (max != max || maxs[c] > max) {
+			max = maxs[c]
 		}
 	}
 	return min, max, true
@@ -102,12 +169,26 @@ func FloatCutPoints(col FloatValued, sel Selection, arity int) []float64 {
 
 // StringValueCounts returns the per-value frequencies of col over
 // sel, unordered. The seg layer orders them by frequency or
-// alphabetically per the paper's nominal-median rule.
+// alphabetically per the paper's nominal-median rule. Large
+// selections count per chunk on all scan workers and merge the
+// per-chunk histograms.
 func StringValueCounts(col *StringColumn, sel Selection) []stats.ValueCount {
-	counts := make([]int, col.Cardinality())
 	codes := col.Codes()
-	for _, row := range sel {
-		counts[codes[row]]++
+	chunks, release := statChunks(sel)
+	defer release()
+	partials := make([][]int, len(chunks))
+	runChunks(chunks, func(c int) {
+		counts := make([]int, col.Cardinality())
+		for _, row := range chunks[c] {
+			counts[codes[row]]++
+		}
+		partials[c] = counts
+	})
+	counts := partials[0]
+	for c := 1; c < len(partials); c++ {
+		for code, n := range partials[c] {
+			counts[code] += n
+		}
 	}
 	out := make([]stats.ValueCount, 0, len(counts))
 	for code, n := range counts {

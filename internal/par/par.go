@@ -1,0 +1,74 @@
+// Package par provides the bounded fan-out primitive shared by the
+// advisor core and the engine: run n independent index-addressed
+// tasks on at most w goroutines, collect results positionally, and
+// report the error of the lowest-numbered failing task so callers
+// stay deterministic regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values below 1 mean
+// "one worker per available CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines, the calling one included: workers-1 are spawned and
+// the caller works alongside them, so a fan-out of w costs w-1
+// goroutines. With workers <= 1 (or n <= 1) it degenerates to a
+// plain loop on the calling goroutine, so the sequential path pays
+// no synchronization cost. All tasks run even when some fail; the
+// returned error is the one from the lowest index, matching what a
+// sequential loop that continued past errors would report first.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

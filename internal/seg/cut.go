@@ -98,7 +98,7 @@ func CutQuery(ev *Evaluator, q sdl.Query, attr string, opt CutOptions) ([]sdl.Qu
 	if len(pieces) < 2 {
 		return []sdl.Query{q}, nil // degenerate: constant within extent
 	}
-	ev.count.CutPointCalcs++
+	ev.cutPointCalcs.Add(1)
 	out := make([]sdl.Query, 0, len(pieces))
 	for _, piece := range pieces {
 		child, nonEmpty, err := childQuery(q, piece)

@@ -8,6 +8,9 @@ package seg
 
 import (
 	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
 
 	"charles/internal/engine"
 	"charles/internal/sdl"
@@ -30,56 +33,164 @@ type Counters struct {
 	CutPointCalcs int
 }
 
+// cacheShards is the number of independent lock stripes of the
+// selection cache. 32 keeps contention negligible for any realistic
+// worker count while the per-shard maps stay dense.
+const cacheShards = 32
+
+// cacheShard is one lock stripe of the selection cache.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]engine.Selection
+}
+
+// cacheSeed keys the shard hash; shared by all evaluators so shard
+// assignment is stable within a process.
+var cacheSeed = maphash.MakeSeed()
+
 // Evaluator binds SDL queries to a table and caches the resulting
 // selections by canonical query string, implementing the reuse
 // opportunity Section 5.1 points out ("the calculations ... can be
-// reused from one iteration to the next"). An Evaluator is not safe
-// for concurrent use; each advisory session owns one.
+// reused from one iteration to the next"). The cache is sharded
+// behind fine-grained reader/writer locks and the counters are
+// atomic, so one Evaluator safely serves many goroutines — the
+// foundation of the parallel advisor core and the multi-session
+// server.
 type Evaluator struct {
 	tab     *engine.Table
-	cache   map[string]engine.Selection
-	caching bool
-	count   Counters
+	shards  [cacheShards]cacheShard
+	caching atomic.Bool
+	// limit bounds the total cached selections (0 = unbounded).
+	// Long-lived shared evaluators — the multi-session server — set
+	// it so user-supplied contexts cannot grow memory without bound.
+	limit atomic.Int64
+
+	fullEvals     atomic.Int64
+	narrowEvals   atomic.Int64
+	cacheHits     atomic.Int64
+	cutPointCalcs atomic.Int64
 }
 
 // NewEvaluator returns a caching evaluator over t.
 func NewEvaluator(t *engine.Table) *Evaluator {
-	return &Evaluator{
-		tab:     t,
-		cache:   make(map[string]engine.Selection),
-		caching: true,
+	e := &Evaluator{tab: t}
+	for i := range e.shards {
+		e.shards[i].m = make(map[string]engine.Selection)
 	}
+	e.caching.Store(true)
+	return e
 }
 
 // Table returns the relation the evaluator is bound to.
 func (e *Evaluator) Table() *engine.Table { return e.tab }
 
+// SetCacheLimit bounds the number of cached selections; at the
+// limit an arbitrary entry per shard is evicted to make room.
+// n <= 0 means unbounded (the default, right for one-shot advisory
+// runs and the paper experiments).
+func (e *Evaluator) SetCacheLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.limit.Store(int64(n))
+}
+
 // SetCaching toggles the selection cache (the E6 ablation). Turning
-// caching off also drops the current cache.
+// caching off also drops the current cache. The toggle applies to
+// evaluations that start afterwards; flip it while the evaluator is
+// quiescent when exact ablation counters matter.
 func (e *Evaluator) SetCaching(on bool) {
-	e.caching = on
+	e.caching.Store(on)
 	if !on {
-		e.cache = make(map[string]engine.Selection)
+		for i := range e.shards {
+			s := &e.shards[i]
+			s.mu.Lock()
+			s.m = make(map[string]engine.Selection)
+			s.mu.Unlock()
+		}
 	}
 }
 
-// Counters returns a copy of the instrumentation counters.
-func (e *Evaluator) Counters() Counters { return e.count }
+// Counters returns a snapshot of the instrumentation counters.
+func (e *Evaluator) Counters() Counters {
+	return Counters{
+		FullEvals:     int(e.fullEvals.Load()),
+		NarrowEvals:   int(e.narrowEvals.Load()),
+		CacheHits:     int(e.cacheHits.Load()),
+		CutPointCalcs: int(e.cutPointCalcs.Load()),
+	}
+}
 
 // ResetCounters zeroes the instrumentation counters.
-func (e *Evaluator) ResetCounters() { e.count = Counters{} }
+func (e *Evaluator) ResetCounters() {
+	e.fullEvals.Store(0)
+	e.narrowEvals.Store(0)
+	e.cacheHits.Store(0)
+	e.cutPointCalcs.Store(0)
+}
 
 // CacheLen returns the number of cached selections.
-func (e *Evaluator) CacheLen() int { return len(e.cache) }
+func (e *Evaluator) CacheLen() int {
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// shard returns the lock stripe responsible for key.
+func (e *Evaluator) shard(key string) *cacheShard {
+	return &e.shards[maphash.String(cacheSeed, key)%cacheShards]
+}
+
+// cached looks key up in its shard.
+func (e *Evaluator) cached(key string) (engine.Selection, bool) {
+	s := e.shard(key)
+	s.mu.RLock()
+	sel, ok := s.m[key]
+	s.mu.RUnlock()
+	return sel, ok
+}
+
+// store records key → sel. Concurrent evaluators may compute the
+// same selection twice; the results are identical, so last write
+// wins and both callers' slices stay valid (selections are
+// immutable by contract). Over the cache limit, one arbitrary entry
+// of the shard makes room — random-replacement is crude but keeps
+// the hot path lock-cheap and bounds memory.
+func (e *Evaluator) store(key string, sel engine.Selection) {
+	perShard := 0
+	if limit := e.limit.Load(); limit > 0 {
+		perShard = int((limit + cacheShards - 1) / cacheShards)
+	}
+	s := e.shard(key)
+	s.mu.Lock()
+	if perShard > 0 && len(s.m) >= perShard {
+		for k := range s.m {
+			if k != key {
+				delete(s.m, k)
+				break
+			}
+		}
+	}
+	s.m[key] = sel
+	s.mu.Unlock()
+}
 
 // Select returns the sorted row selection R(Q). Results are cached
 // under the query's canonical key. The returned selection must not
 // be mutated.
 func (e *Evaluator) Select(q sdl.Query) (engine.Selection, error) {
 	key := q.Key()
-	if e.caching {
-		if sel, ok := e.cache[key]; ok {
-			e.count.CacheHits++
+	// One snapshot per evaluation: a concurrent SetCaching flip
+	// cannot make lookup and store disagree within one call.
+	caching := e.caching.Load()
+	if caching {
+		if sel, ok := e.cached(key); ok {
+			e.cacheHits.Add(1)
 			return sel, nil
 		}
 	}
@@ -94,9 +205,9 @@ func (e *Evaluator) Select(q sdl.Query) (engine.Selection, error) {
 			return nil, err
 		}
 	}
-	e.count.FullEvals++
-	if e.caching {
-		e.cache[key] = sel
+	e.fullEvals.Add(1)
+	if caching {
+		e.store(key, sel)
 	}
 	return sel, nil
 }
@@ -117,9 +228,10 @@ func (e *Evaluator) Count(q sdl.Query) (int, error) {
 // applied. child must equal parent.WithConstraint(c).
 func (e *Evaluator) Narrow(parentSel engine.Selection, child sdl.Query, c sdl.Constraint) (engine.Selection, error) {
 	key := child.Key()
-	if e.caching {
-		if sel, ok := e.cache[key]; ok {
-			e.count.CacheHits++
+	caching := e.caching.Load()
+	if caching {
+		if sel, ok := e.cached(key); ok {
+			e.cacheHits.Add(1)
 			return sel, nil
 		}
 	}
@@ -127,9 +239,9 @@ func (e *Evaluator) Narrow(parentSel engine.Selection, child sdl.Query, c sdl.Co
 	if err != nil {
 		return nil, err
 	}
-	e.count.NarrowEvals++
-	if e.caching {
-		e.cache[key] = sel
+	e.narrowEvals.Add(1)
+	if caching {
+		e.store(key, sel)
 	}
 	return sel, nil
 }

@@ -161,3 +161,32 @@ func TestCountersAndReset(t *testing.T) {
 		t.Fatal("ResetCounters did not reset")
 	}
 }
+
+func TestCacheLimitBoundsEntries(t *testing.T) {
+	tab, ev := figure2Table(t)
+	_ = tab
+	const limit = 8
+	ev.SetCacheLimit(limit)
+	// Far more distinct queries than the limit allows.
+	for lo := int64(0); lo < 200; lo++ {
+		q := sdl.MustQuery(sdl.ClosedRange("tonnage", engine.Int(lo), engine.Int(lo+100)))
+		if _, err := ev.Select(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-shard rounding allows at most ceil(limit/shards) per shard.
+	if n := ev.CacheLen(); n > limit+cacheShards {
+		t.Fatalf("cache holds %d entries, limit %d", n, limit)
+	}
+	// Cached queries still answer correctly after evictions.
+	q := sdl.MustQuery(sdl.ClosedRange("tonnage", engine.Int(0), engine.Int(100)))
+	sel, err := ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sel {
+		if !sel.IsSorted() {
+			t.Fatalf("row %d: unsorted selection after eviction", row)
+		}
+	}
+}
