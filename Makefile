@@ -22,6 +22,8 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # One iteration per benchmark: proves they still run, in CI time.
+# -bench=. sweeps everything, including the E14 bitmap-intersect and
+# E15 parallel-cells pair guarding the selection-representation work.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

@@ -505,3 +505,79 @@ func BenchmarkAdvisorFacade(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE14BitmapIntersect isolates the tentpole claim: on dense
+// selections (≥ 1/8 density here, far above the 1/64 crossover) the
+// word-packed AND+popcount intersection count must beat the sorted-
+// merge IntersectCount by ≥ 5×. BitmapBuildAndCount includes the
+// one-time packing cost the pairwise operators amortize over a whole
+// contingency row; MixedProbe is the sparse-against-dense path.
+func BenchmarkE14BitmapIntersect(b *testing.B) {
+	const nRows = 200000
+	mk := func(stride int) engine.Selection {
+		out := make(engine.Selection, 0, nRows/stride+1)
+		for i := 0; i < nRows; i += stride {
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	dense2, dense3 := mk(2), mk(3) // densities 1/2 and 1/3
+	b.Run("SortedMerge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.IntersectCount(dense2, dense3)
+		}
+	})
+	ba, bc := engine.NewBitmap(dense2, nRows), engine.NewBitmap(dense3, nRows)
+	b.Run("BitmapAndCount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ba.AndCount(bc)
+		}
+	})
+	b.Run("BitmapBuildAndCount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x, y := engine.NewBitmap(dense2, nRows), engine.NewBitmap(dense3, nRows)
+			_ = x.AndCount(y)
+		}
+	})
+	sparse := mk(1024)
+	b.Run("MixedProbe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.AndCountSelection(ba, sparse)
+		}
+	})
+}
+
+// BenchmarkE15ParallelCells measures the parallel contingency-table
+// fan-out on an 8×8 cell grid over VOC 100k: representation × worker
+// count. The cell values are identical in every configuration
+// (TestCellCountsParallelMatchesSequential pins this); only the
+// wall-clock moves. On the single-core CI container the widths tie;
+// run on multi-core hardware to see the scaling.
+func BenchmarkE15ParallelCells(b *testing.B) {
+	tab := table(b, "voc", 100000, 1)
+	ctx := contextOn(b, tab, "tonnage", "built")
+	ev := seg.NewEvaluator(tab)
+	opt := seg.DefaultCutOptions()
+	opt.Arity = 8
+	s1, ok, err := seg.InitialCut(ev, ctx, "tonnage", opt)
+	if err != nil || !ok {
+		b.Fatalf("InitialCut(tonnage): %v ok=%v", err, ok)
+	}
+	s2, ok, err := seg.InitialCut(ev, ctx, "built", opt)
+	if err != nil || !ok {
+		b.Fatalf("InitialCut(built): %v ok=%v", err, ok)
+	}
+	for _, rep := range []seg.SelectionRep{seg.RepVector, seg.RepAuto} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("rep=%s/workers=%d", rep, workers), func(b *testing.B) {
+				po := seg.PairOptions{Workers: workers, Rep: rep}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := seg.CellCountsOpt(ev, s1, s2, po); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

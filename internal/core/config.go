@@ -59,11 +59,21 @@ type Config struct {
 	// returns results "by order of entropy").
 	Score ScoreFunc
 	// Workers bounds the fan-out of the advisor core: initial cuts,
-	// per-step INDEP pair evaluations and adaptive attribute search
-	// run on at most this many goroutines. Values below 1 mean one
-	// worker per available CPU (runtime.GOMAXPROCS). The ranked
-	// output is identical for every worker count.
+	// per-step INDEP pair evaluations, the pairwise contingency cell
+	// loops behind them, and adaptive attribute search run on at most
+	// this many goroutines. Values below 1 mean one worker per
+	// available CPU (runtime.GOMAXPROCS). The ranked output is
+	// identical for every worker count.
 	Workers int
+	// Selection picks the physical representation of segment
+	// selections inside the pairwise operators (PRODUCT and the
+	// contingency tables behind INDEP): seg.RepAuto (the default)
+	// packs extents covering ≥ 1/64 of the table into word-wise
+	// AND+popcount bitmaps and keeps sparse ones as sorted row-id
+	// vectors; seg.RepVector and seg.RepBitmap force one
+	// representation everywhere. All settings produce identical
+	// ranked output — only the wall-clock moves.
+	Selection seg.SelectionRep
 }
 
 // DefaultConfig returns the paper's configuration: maxIndep 0.99,

@@ -198,7 +198,7 @@ func (st *hbState) step() (*seg.Segmentation, bool, error) {
 	// same cell counts INDEP used, so it is also checked here).
 	stop := false
 	if st.cfg.UseChiSquare {
-		indep, err := seg.ChiSquareIndependent(st.ev, s1.seg, s2.seg, st.cfg.ChiAlpha)
+		indep, err := seg.ChiSquareIndependentOpt(st.ev, s1.seg, s2.seg, st.cfg.ChiAlpha, st.pairOpts(st.cfg.Workers))
 		if err != nil {
 			return nil, false, err
 		}
@@ -271,8 +271,18 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 			todo = append(todo, missing{i: i, j: j, key: key})
 		}
 	}
+	// Two parallelism levels are available: across missing pairs and
+	// across each pair's contingency cells. Splitting the pool both
+	// ways would oversubscribe, so the pool is divided: with a warm
+	// pair cache every step leaves n-1 pairs missing (the freshly
+	// composed candidate against each survivor), so few missing
+	// pairs with many workers hand the surplus to the cell loops.
+	inner := 1
+	if len(todo) > 0 && st.cfg.Workers/len(todo) > 1 {
+		inner = st.cfg.Workers / len(todo)
+	}
 	err := par.ForEach(st.cfg.Workers, len(todo), func(k int) error {
-		v, err := seg.Indep(st.ev, st.cand[todo[k].i].seg, st.cand[todo[k].j].seg)
+		v, err := seg.IndepOpt(st.ev, st.cand[todo[k].i].seg, st.cand[todo[k].j].seg, st.pairOpts(inner))
 		if err != nil {
 			return err
 		}
@@ -298,6 +308,13 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 	return bestI, bestJ, bestInd, nil
 }
 
+// pairOpts builds the options one pairwise operator call runs
+// under: the configured selection representation, with its cell
+// loop bounded at workers goroutines.
+func (st *hbState) pairOpts(workers int) seg.PairOptions {
+	return seg.PairOptions{Workers: workers, Rep: st.cfg.Selection}
+}
+
 func pairKey(a, b candidate) [2]int {
 	key := [2]int{a.id, b.id}
 	if key[0] > key[1] {
@@ -312,7 +329,7 @@ func (st *hbState) pairIndep(a, b candidate) (float64, error) {
 		st.res.IndepCacheHits++
 		return v, nil
 	}
-	v, err := seg.Indep(st.ev, a.seg, b.seg)
+	v, err := seg.IndepOpt(st.ev, a.seg, b.seg, st.pairOpts(st.cfg.Workers))
 	if err != nil {
 		return 0, err
 	}

@@ -296,28 +296,33 @@ func Cut(ev *Evaluator, s *Segmentation, attr string, opt CutOptions) (*Segmenta
 		if err != nil {
 			return nil, err
 		}
-		if len(children) > 1 {
-			anySplit = true
+		if len(children) == 1 {
+			// Degenerate cut: the query survives whole and its count
+			// is already known, so the parent selection is never
+			// needed — fetching it anyway would be a wasted full
+			// evaluation with caching off and would skew the E6/E7
+			// FullEvals counters.
+			if s.Counts[i] > 0 {
+				out.Queries = append(out.Queries, children[0])
+				out.Counts = append(out.Counts, s.Counts[i])
+			}
+			continue
 		}
+		anySplit = true
 		parentSel, err := ev.Select(q)
 		if err != nil {
 			return nil, err
 		}
 		for _, child := range children {
-			var count int
-			if len(children) == 1 {
-				count = s.Counts[i]
-			} else {
-				c, ok := child.Constraint(attr)
-				if !ok {
-					return nil, fmt.Errorf("seg: cut child lost its %q constraint", attr)
-				}
-				childSel, err := ev.Narrow(parentSel, child, c)
-				if err != nil {
-					return nil, err
-				}
-				count = len(childSel)
+			c, ok := child.Constraint(attr)
+			if !ok {
+				return nil, fmt.Errorf("seg: cut child lost its %q constraint", attr)
 			}
+			childSel, err := ev.Narrow(parentSel, child, c)
+			if err != nil {
+				return nil, err
+			}
+			count := len(childSel)
 			if count == 0 {
 				continue
 			}

@@ -431,3 +431,69 @@ func repeat(s string, n int) []string {
 	}
 	return out
 }
+
+// TestDegenerateCutSkipsParentEval is the regression test for the
+// wasted-evaluation fix: when a query cannot be split (the attribute
+// is constant within its extent), Cut must not fetch the parent
+// selection it never uses. With caching off, that wasted fetch was a
+// full evaluation per degenerate cut, skewing the E6/E7 FullEvals
+// counters.
+func TestDegenerateCutSkipsParentEval(t *testing.T) {
+	tab := engine.MustNewTable("t",
+		engine.NewIntColumn("v", []int64{1, 2, 3, 4}),
+		engine.NewIntColumn("c", []int64{7, 7, 7, 7}),
+	)
+	ev := evalFor(t, tab)
+	ctx := sdl.ContextAll(tab)
+	a, ok, err := InitialCut(ev, ctx, "v", DefaultCutOptions())
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// With caching off every Select is a full evaluation, so the
+	// counter exposes exactly how many selections the cut fetched.
+	ev.SetCaching(false)
+	ev.ResetCounters()
+	noop, err := Cut(ev, a, "c", DefaultCutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.Depth() != a.Depth() {
+		t.Fatalf("no-op cut changed depth to %d", noop.Depth())
+	}
+	// CutQuery needs one Select per query to find the (degenerate)
+	// cut points; the unused parent selection must not add a second.
+	if got := ev.Counters().FullEvals; got != a.Depth() {
+		t.Fatalf("degenerate cut cost %d full evals, want %d (one per query)", got, a.Depth())
+	}
+}
+
+// TestMixedCutSkipsParentEvalForDegeneratePieces covers the mixed
+// case: one query splits, another is degenerate; only the split one
+// may fetch its parent selection a second time.
+func TestMixedCutSkipsParentEvalForDegeneratePieces(t *testing.T) {
+	// "c" is constant inside the v<=2 half but splits in the other.
+	tab := engine.MustNewTable("t",
+		engine.NewIntColumn("v", []int64{1, 2, 3, 4}),
+		engine.NewIntColumn("c", []int64{7, 7, 8, 9}),
+	)
+	ev := evalFor(t, tab)
+	ctx := sdl.ContextAll(tab)
+	a, ok, err := InitialCut(ev, ctx, "v", DefaultCutOptions())
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	ev.SetCaching(false)
+	ev.ResetCounters()
+	cut, err := Cut(ev, a, "c", DefaultCutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3 (one degenerate piece, one split)", cut.Depth())
+	}
+	// Two CutQuery selects + one parent re-select for the split
+	// query only. (Narrow evaluations are counted separately.)
+	if got := ev.Counters().FullEvals; got != 3 {
+		t.Fatalf("mixed cut cost %d full evals, want 3", got)
+	}
+}

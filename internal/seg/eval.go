@@ -44,6 +44,12 @@ type cacheShard struct {
 	m  map[string]engine.Selection
 }
 
+// bitmapShard is one lock stripe of the packed-selection cache.
+type bitmapShard struct {
+	mu sync.RWMutex
+	m  map[string]*engine.Bitmap
+}
+
 // cacheSeed keys the shard hash; shared by all evaluators so shard
 // assignment is stable within a process.
 var cacheSeed = maphash.MakeSeed()
@@ -57,9 +63,10 @@ var cacheSeed = maphash.MakeSeed()
 // foundation of the parallel advisor core and the multi-session
 // server.
 type Evaluator struct {
-	tab     *engine.Table
-	shards  [cacheShards]cacheShard
-	caching atomic.Bool
+	tab      *engine.Table
+	shards   [cacheShards]cacheShard
+	bmShards [cacheShards]bitmapShard
+	caching  atomic.Bool
 	// limit bounds the total cached selections (0 = unbounded).
 	// Long-lived shared evaluators — the multi-session server — set
 	// it so user-supplied contexts cannot grow memory without bound.
@@ -76,6 +83,9 @@ func NewEvaluator(t *engine.Table) *Evaluator {
 	e := &Evaluator{tab: t}
 	for i := range e.shards {
 		e.shards[i].m = make(map[string]engine.Selection)
+	}
+	for i := range e.bmShards {
+		e.bmShards[i].m = make(map[string]*engine.Bitmap)
 	}
 	e.caching.Store(true)
 	return e
@@ -106,6 +116,12 @@ func (e *Evaluator) SetCaching(on bool) {
 			s := &e.shards[i]
 			s.mu.Lock()
 			s.m = make(map[string]engine.Selection)
+			s.mu.Unlock()
+		}
+		for i := range e.bmShards {
+			s := &e.bmShards[i]
+			s.mu.Lock()
+			s.m = make(map[string]*engine.Bitmap)
 			s.mu.Unlock()
 		}
 	}
@@ -160,7 +176,10 @@ func (e *Evaluator) cached(key string) (engine.Selection, bool) {
 // wins and both callers' slices stay valid (selections are
 // immutable by contract). Over the cache limit, one arbitrary entry
 // of the shard makes room — random-replacement is crude but keeps
-// the hot path lock-cheap and bounds memory.
+// the hot path lock-cheap and bounds memory. Overwriting a key that
+// is already present never evicts: the store does not grow the
+// shard, so there is nothing to make room for (evicting anyway
+// would shrink the cache by one on every re-store at the limit).
 func (e *Evaluator) store(key string, sel engine.Selection) {
 	perShard := 0
 	if limit := e.limit.Load(); limit > 0 {
@@ -169,8 +188,8 @@ func (e *Evaluator) store(key string, sel engine.Selection) {
 	s := e.shard(key)
 	s.mu.Lock()
 	if perShard > 0 && len(s.m) >= perShard {
-		for k := range s.m {
-			if k != key {
+		if _, exists := s.m[key]; !exists {
+			for k := range s.m {
 				delete(s.m, k)
 				break
 			}
@@ -178,6 +197,46 @@ func (e *Evaluator) store(key string, sel engine.Selection) {
 	}
 	s.m[key] = sel
 	s.mu.Unlock()
+}
+
+// packedSelection returns the word-packed form of q's selection,
+// serving repeats from a per-query cache: HB-cuts evaluates each
+// candidate against O(n) partners per step, and without the cache
+// every pairwise operator call would re-pack the same bitmaps. The
+// caller decides whether packing pays (the representation knob and
+// density heuristic live in the pairwise operators); this only
+// memoizes the result of that decision, so cached and uncached runs
+// take identical code paths. Bitmaps are immutable by contract,
+// like selections.
+func (e *Evaluator) packedSelection(q sdl.Query, sel engine.Selection) *engine.Bitmap {
+	if !e.caching.Load() {
+		return engine.NewBitmap(sel, e.tab.NumRows())
+	}
+	key := q.Key()
+	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
+	s.mu.RLock()
+	bm, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return bm
+	}
+	bm = engine.NewBitmap(sel, e.tab.NumRows())
+	perShard := 0
+	if limit := e.limit.Load(); limit > 0 {
+		perShard = int((limit + cacheShards - 1) / cacheShards)
+	}
+	s.mu.Lock()
+	if perShard > 0 && len(s.m) >= perShard {
+		if _, exists := s.m[key]; !exists {
+			for k := range s.m {
+				delete(s.m, k)
+				break
+			}
+		}
+	}
+	s.m[key] = bm
+	s.mu.Unlock()
+	return bm
 }
 
 // Select returns the sorted row selection R(Q). Results are cached

@@ -1,6 +1,7 @@
 package seg
 
 import (
+	"fmt"
 	"testing"
 
 	"charles/internal/engine"
@@ -188,5 +189,84 @@ func TestCacheLimitBoundsEntries(t *testing.T) {
 		if !sel.IsSorted() {
 			t.Fatalf("row %d: unsorted selection after eviction", row)
 		}
+	}
+}
+
+// TestStoreAtLimitKeepsExistingKey is the regression test for the
+// re-store eviction bug: overwriting a key that is already cached in
+// a full shard must not evict an unrelated entry — the store does
+// not grow the shard, so there is nothing to make room for. The old
+// code evicted first and overwrote second, shrinking the cache by
+// one on every re-store at the limit.
+func TestStoreAtLimitKeepsExistingKey(t *testing.T) {
+	tab, ev := figure2Table(t)
+	sel := tab.All()
+	// perShard = ceil(limit/shards) = 2.
+	ev.SetCacheLimit(2 * cacheShards)
+	// Find two keys that land in the same shard, then fill it.
+	keyA := "key-a"
+	shard := ev.shard(keyA)
+	keyB := ""
+	for i := 0; keyB == ""; i++ {
+		k := fmt.Sprintf("key-b-%d", i)
+		if ev.shard(k) == shard {
+			keyB = k
+		}
+	}
+	ev.store(keyA, sel)
+	ev.store(keyB, sel)
+	if len(shard.m) != 2 {
+		t.Fatalf("shard holds %d entries after filling, want 2", len(shard.m))
+	}
+	// Re-store an existing key ten times: the shard must keep both.
+	for i := 0; i < 10; i++ {
+		ev.store(keyA, sel)
+	}
+	if _, ok := ev.cached(keyB); !ok {
+		t.Fatal("re-storing an existing key evicted an unrelated entry")
+	}
+	if len(shard.m) != 2 {
+		t.Fatalf("shard shrank to %d entries after re-stores, want 2", len(shard.m))
+	}
+	// A genuinely new key at the limit still evicts exactly one.
+	keyC := ""
+	for i := 0; keyC == ""; i++ {
+		k := fmt.Sprintf("key-c-%d", i)
+		if ev.shard(k) == shard {
+			keyC = k
+		}
+	}
+	ev.store(keyC, sel)
+	if len(shard.m) != 2 {
+		t.Fatalf("shard holds %d entries after eviction, want 2", len(shard.m))
+	}
+	if _, ok := ev.cached(keyC); !ok {
+		t.Fatal("new key was not stored at the limit")
+	}
+}
+
+// TestPackedSelectionMemoized pins the bitmap cache: repeated packs
+// of the same query return the identical (immutable) bitmap when
+// caching is on, and fresh ones when it is off.
+func TestPackedSelectionMemoized(t *testing.T) {
+	tab, ev := figure2Table(t)
+	q := sdl.MustQuery(sdl.SetC("type", engine.String_("fluit")))
+	sel, err := ev.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ev.packedSelection(q, sel)
+	b := ev.packedSelection(q, sel)
+	if a != b {
+		t.Fatal("caching on: repeated pack returned a fresh bitmap")
+	}
+	if a.Count() != len(sel) || a.NumRows() != tab.NumRows() {
+		t.Fatalf("packed bitmap shape %d/%d, want %d/%d", a.Count(), a.NumRows(), len(sel), tab.NumRows())
+	}
+	ev.SetCaching(false)
+	c := ev.packedSelection(q, sel)
+	d := ev.packedSelection(q, sel)
+	if c == a || c == d {
+		t.Fatal("caching off: packs must not be shared")
 	}
 }

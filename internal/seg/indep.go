@@ -4,74 +4,232 @@ import (
 	"fmt"
 
 	"charles/internal/engine"
+	"charles/internal/par"
 	"charles/internal/sdl"
 	"charles/internal/stats"
 )
 
-// Product implements the SDL product S1 × S2 (Definition 8): every
-// pairwise conjunction (Q1i, Q2j). Provably empty conjunctions and
-// pairs whose extents do not overlap are dropped, so the result is a
-// partition of the common context with strictly positive counts.
+// SelectionRep selects the physical representation of segment
+// selections inside the pairwise operators (PRODUCT, CellCounts,
+// INDEP). Section 5.1 names segment-pair evaluation as the vertical
+// bottleneck: every INDEP costs a full |S1|×|S2| contingency table,
+// one intersection count per cell. Dense selections count faster as
+// word-packed bitmaps (AND + popcount); sparse ones stay cheaper as
+// sorted row-id vectors.
+type SelectionRep uint8
+
+// Selection representations.
+const (
+	// RepAuto picks per selection: bitmap when the extent covers at
+	// least 1/64 of the table (engine.DenseEnough), row-id vector
+	// otherwise. Mixed cells probe the sparse vector against the
+	// dense bitmap.
+	RepAuto SelectionRep = iota
+	// RepVector forces sorted row-id vectors everywhere (the
+	// pre-bitmap behavior, and the ablation baseline).
+	RepVector
+	// RepBitmap forces word-packed bitmaps everywhere.
+	RepBitmap
+)
+
+// String names the representation for benchmarks and logs.
+func (r SelectionRep) String() string {
+	switch r {
+	case RepAuto:
+		return "auto"
+	case RepVector:
+		return "vector"
+	case RepBitmap:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("rep(%d)", uint8(r))
+	}
+}
+
+// PairOptions parameterizes the pairwise segmentation operators.
+// The zero value — all CPUs, automatic representation — is the
+// right default for direct callers; the advisor core threads
+// Config.Workers and Config.Selection through instead.
+type PairOptions struct {
+	// Workers bounds the fan-out of the cell loop and the per-query
+	// selection gather. Values below 1 mean one worker per available
+	// CPU; 1 keeps everything on the calling goroutine.
+	Workers int
+	// Rep selects the selection representation.
+	Rep SelectionRep
+}
+
+func (o PairOptions) normalize() PairOptions {
+	o.Workers = par.Workers(o.Workers)
+	return o
+}
+
+// pairSide holds one segmentation's selections, each in the
+// representation the options chose for it: bms[i] is non-nil when
+// segment i is bitmap-packed, sels[i] is always present.
+type pairSide struct {
+	sels []engine.Selection
+	bms  []*engine.Bitmap
+}
+
+// buildSide gathers a segmentation's selections across the worker
+// pool and packs the chosen ones into bitmaps, once per operator
+// call; the cell loop then reuses them |other| times each.
+func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (pairSide, error) {
+	sels := make([]engine.Selection, len(s.Queries))
+	err := par.ForEach(opt.Workers, len(s.Queries), func(i int) error {
+		sel, err := ev.Select(s.Queries[i])
+		if err != nil {
+			return err
+		}
+		sels[i] = sel
+		return nil
+	})
+	if err != nil {
+		return pairSide{}, err
+	}
+	bms := make([]*engine.Bitmap, len(sels))
+	if opt.Rep != RepVector {
+		nRows := ev.Table().NumRows()
+		// Packing is a linear pass per segment — memoized per query in
+		// the evaluator, since HB-cuts evaluates each candidate against
+		// O(n) partners per step. Errors are impossible, so ForEach is
+		// used purely for the fan-out.
+		_ = par.ForEach(opt.Workers, len(sels), func(i int) error {
+			if opt.Rep == RepBitmap || engine.DenseEnough(len(sels[i]), nRows) {
+				bms[i] = ev.packedSelection(s.Queries[i], sels[i])
+			}
+			return nil
+		})
+	}
+	return pairSide{sels: sels, bms: bms}, nil
+}
+
+// cellCount returns |R(Q1i) ∩ R(Q2j)| using the fastest path the
+// chosen representations allow. All three paths return identical
+// counts, so the representation knob never changes advisor output.
+func cellCount(a pairSide, i int, b pairSide, j int) int {
+	switch {
+	case a.bms[i] != nil && b.bms[j] != nil:
+		return a.bms[i].AndCount(b.bms[j])
+	case a.bms[i] != nil:
+		return engine.AndCountSelection(a.bms[i], b.sels[j])
+	case b.bms[j] != nil:
+		return engine.AndCountSelection(b.bms[j], a.sels[i])
+	default:
+		return engine.IntersectCount(a.sels[i], b.sels[j])
+	}
+}
+
+// Product implements the SDL product S1 × S2 (Definition 8) with the
+// default options (all-CPU fan-out, automatic representation).
 func Product(ev *Evaluator, s1, s2 *Segmentation) (*Segmentation, error) {
-	sel1, err := selections(ev, s1)
+	return ProductOpt(ev, s1, s2, PairOptions{})
+}
+
+// ProductOpt implements the SDL product S1 × S2 (Definition 8):
+// every pairwise conjunction (Q1i, Q2j). Provably empty conjunctions
+// and pairs whose extents do not overlap are dropped, so the result
+// is a partition of the common context with strictly positive
+// counts. The cell loop fans out across opt.Workers; cells land in a
+// positional buffer and are merged in (i, j) order, so the output is
+// byte-identical to the sequential nested loop at every width.
+func ProductOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (*Segmentation, error) {
+	opt = opt.normalize()
+	a, err := buildSide(ev, s1, opt)
 	if err != nil {
 		return nil, err
 	}
-	sel2, err := selections(ev, s2)
+	b, err := buildSide(ev, s2, opt)
+	if err != nil {
+		return nil, err
+	}
+	n1, n2 := len(s1.Queries), len(s2.Queries)
+	type prodCell struct {
+		q     sdl.Query
+		count int
+	}
+	cells := make([]prodCell, n1*n2)
+	err = par.ForEach(opt.Workers, n1*n2, func(k int) error {
+		i, j := k/n2, k%n2
+		q, nonEmpty, err := sdl.Conjoin(s1.Queries[i], s2.Queries[j])
+		if err != nil {
+			return err
+		}
+		if !nonEmpty {
+			return nil
+		}
+		count := cellCount(a, i, b, j)
+		if count == 0 {
+			return nil
+		}
+		cells[k] = prodCell{q: q, count: count}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := &Segmentation{CutAttrs: mergeAttrs(s1.CutAttrs, s2.CutAttrs)}
-	for i, q1 := range s1.Queries {
-		for j, q2 := range s2.Queries {
-			q, nonEmpty, err := sdl.Conjoin(q1, q2)
-			if err != nil {
-				return nil, err
-			}
-			if !nonEmpty {
-				continue
-			}
-			count := engine.IntersectCount(sel1[i], sel2[j])
-			if count == 0 {
-				continue
-			}
-			out.Queries = append(out.Queries, q)
-			out.Counts = append(out.Counts, count)
+	for k := range cells {
+		if cells[k].count == 0 {
+			continue
 		}
+		out.Queries = append(out.Queries, cells[k].q)
+		out.Counts = append(out.Counts, cells[k].count)
 	}
 	return out, nil
 }
 
-// CellCounts returns the |S1| × |S2| joint contingency table:
-// cells[i][j] = |R(Q1i) ∩ R(Q2j)|. This is the raw material for both
-// INDEP and the chi-squared stopping rule.
+// CellCounts returns the |S1| × |S2| joint contingency table with
+// the default options (all-CPU fan-out, automatic representation).
 func CellCounts(ev *Evaluator, s1, s2 *Segmentation) ([][]int, error) {
-	sel1, err := selections(ev, s1)
+	return CellCountsOpt(ev, s1, s2, PairOptions{})
+}
+
+// CellCountsOpt returns the joint contingency table cells[i][j] =
+// |R(Q1i) ∩ R(Q2j)| — the raw material for both INDEP and the
+// chi-squared stopping rule. Each segmentation's selections are
+// gathered and packed once, then the cell loop fans out across
+// opt.Workers; every cell writes its own slot, so the table is
+// deterministic at every width.
+func CellCountsOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) ([][]int, error) {
+	opt = opt.normalize()
+	a, err := buildSide(ev, s1, opt)
 	if err != nil {
 		return nil, err
 	}
-	sel2, err := selections(ev, s2)
+	b, err := buildSide(ev, s2, opt)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([][]int, len(sel1))
-	for i := range sel1 {
-		cells[i] = make([]int, len(sel2))
-		for j := range sel2 {
-			cells[i][j] = engine.IntersectCount(sel1[i], sel2[j])
-		}
+	n1, n2 := len(a.sels), len(b.sels)
+	flat := make([]int, n1*n2)
+	// Cell errors are impossible once both sides are built; ForEach
+	// is used purely for the fan-out.
+	_ = par.ForEach(opt.Workers, n1*n2, func(k int) error {
+		flat[k] = cellCount(a, k/n2, b, k%n2)
+		return nil
+	})
+	cells := make([][]int, n1)
+	for i := range cells {
+		cells[i] = flat[i*n2 : (i+1)*n2 : (i+1)*n2]
 	}
 	return cells, nil
 }
 
-// Indep returns INDEP(S1, S2) = E(S1×S2) / (E(S1) + E(S2)), the
+// Indep returns INDEP(S1, S2) with the default options.
+func Indep(ev *Evaluator, s1, s2 *Segmentation) (float64, error) {
+	return IndepOpt(ev, s1, s2, PairOptions{})
+}
+
+// IndepOpt returns INDEP(S1, S2) = E(S1×S2) / (E(S1) + E(S2)), the
 // dependence quotient of Proposition 1: 1 when the segment variables
 // are independent, decreasing with the degree of dependence. By
 // convention it is 1 when both segmentations are degenerate
 // (E(S1)+E(S2) = 0), so degenerate candidates never win the
 // most-dependent-pair selection.
-func Indep(ev *Evaluator, s1, s2 *Segmentation) (float64, error) {
-	cells, err := CellCounts(ev, s1, s2)
+func IndepOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (float64, error) {
+	cells, err := CellCountsOpt(ev, s1, s2, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -101,28 +259,22 @@ func IndepFromCells(cells [][]int) float64 {
 	return stats.Entropy(flat) / denom
 }
 
-// ChiSquareIndependent applies the Section 4.2 suggestion of
+// ChiSquareIndependent applies the Section 4.2 stopping rule with
+// the default options.
+func ChiSquareIndependent(ev *Evaluator, s1, s2 *Segmentation, alpha float64) (bool, error) {
+	return ChiSquareIndependentOpt(ev, s1, s2, alpha, PairOptions{})
+}
+
+// ChiSquareIndependentOpt applies the Section 4.2 suggestion of
 // statistical hypothesis testing as a stopping rule: it reports
 // whether the joint distribution of two segmentations is consistent
 // with independence at significance alpha.
-func ChiSquareIndependent(ev *Evaluator, s1, s2 *Segmentation, alpha float64) (bool, error) {
-	cells, err := CellCounts(ev, s1, s2)
+func ChiSquareIndependentOpt(ev *Evaluator, s1, s2 *Segmentation, alpha float64, opt PairOptions) (bool, error) {
+	cells, err := CellCountsOpt(ev, s1, s2, opt)
 	if err != nil {
 		return false, err
 	}
 	return stats.ChiSquareIndependent(cells, alpha), nil
-}
-
-func selections(ev *Evaluator, s *Segmentation) ([]engine.Selection, error) {
-	out := make([]engine.Selection, len(s.Queries))
-	for i, q := range s.Queries {
-		sel, err := ev.Select(q)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sel
-	}
-	return out, nil
 }
 
 // ValidatePartition checks Definition 3 exactly: the segments are

@@ -52,7 +52,7 @@ func TestSegmentationKeyAndString(t *testing.T) {
 		CutAttrs: []string{"a", "b"},
 		Counts:   []int{1, 2},
 	}
-	if s.Key() != "a,b#2" {
+	if s.Key() != "a,b#()|()" {
 		t.Fatalf("Key = %q", s.Key())
 	}
 	if s.String() == "" {
@@ -60,6 +60,31 @@ func TestSegmentationKeyAndString(t *testing.T) {
 	}
 	if s.Total() != 3 {
 		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+// TestSegmentationKeyDistinguishesCutPoints is the regression test
+// for the ranking-determinism fix: two segmentations on the same
+// attributes at the same depth but with different cut points (or
+// contexts) must not share a key, or the final ranking tie-break
+// becomes unstable among tied candidates.
+func TestSegmentationKeyDistinguishesCutPoints(t *testing.T) {
+	mk := func(lo, hi int64) *Segmentation {
+		return &Segmentation{
+			Queries: []sdl.Query{
+				sdl.MustQuery(sdl.ClosedRange("tonnage", engine.Int(0), engine.Int(lo))),
+				sdl.MustQuery(sdl.ClosedRange("tonnage", engine.Int(lo+1), engine.Int(hi))),
+			},
+			CutAttrs: []string{"tonnage"},
+			Counts:   []int{1, 1},
+		}
+	}
+	a, b := mk(100, 500), mk(250, 500)
+	if a.Key() == b.Key() {
+		t.Fatalf("distinct cut points share key %q", a.Key())
+	}
+	if a.Key() != mk(100, 500).Key() {
+		t.Fatal("identical segmentations disagree on key")
 	}
 }
 

@@ -112,11 +112,25 @@ func (s *Segmentation) ComputeMetrics() Metrics {
 	}
 }
 
-// Key returns a canonical identity string for caching (the sorted
-// cut-attribute list plus segment count: cuts on the same attributes
-// in any order produce the same logical segmentation family).
+// Key returns a canonical identity string: the sorted cut-attribute
+// list plus every segment's canonical query string. Two
+// segmentations share a key iff they hold the same queries in the
+// same order, so the final ranking tie-break in internal/core is
+// total and stable. (The previous attrs+depth key collided for
+// distinct segmentations with the same attributes and depth —
+// different cut points or contexts — leaving ranked order among
+// tied candidates to chance.)
 func (s *Segmentation) Key() string {
-	return strings.Join(s.CutAttrs, ",") + "#" + fmt.Sprint(len(s.Queries))
+	var b strings.Builder
+	b.WriteString(strings.Join(s.CutAttrs, ","))
+	b.WriteByte('#')
+	for i, q := range s.Queries {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(q.Key())
+	}
+	return b.String()
 }
 
 // String summarizes the segmentation for logs and errors.
