@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test test-race bench bench-smoke bench-scale fmt fmt-check vet ci
 
 all: build
 
@@ -22,10 +22,18 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # One iteration per benchmark: proves they still run, in CI time.
-# -bench=. sweeps everything, including the E14 bitmap-intersect and
-# E15 parallel-cells pair guarding the selection-representation work.
+# -bench=. sweeps everything, including the E14 bitmap-intersect /
+# E15 parallel-cells pair guarding the selection-representation work
+# and the E16 chunked-scan benchmark guarding the chunked storage
+# path. (E17 self-skips without CHARLES_SCALE.)
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The 10M-row scale comparison (E17) plus the 1M-row chunked scan
+# (E16), locally: generates ~10M rows of VOC (several hundred MB),
+# so it is not part of CI. Expect minutes on first run.
+bench-scale:
+	CHARLES_SCALE=1 $(GO) test -run=NONE -bench='E16ChunkedScan|E17ScaleAdvise' -benchtime=1x -timeout=30m .
 
 fmt:
 	gofmt -w .

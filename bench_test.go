@@ -8,6 +8,7 @@ package charles_test
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -579,5 +580,82 @@ func BenchmarkE15ParallelCells(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE16ChunkedScan measures the chunked storage path on a
+// 1M-row table: full-selection range filter, median cut point and
+// bitmap pack, each iterating 64K-row chunks through the scan worker
+// pool. The outputs are identical at every width (the chunked
+// equivalence property tests pin this); the wall-clock should fall
+// as workers rise on multi-core hardware. The single-width flat
+// subbenchmark is the pre-chunking baseline for the same scan.
+func BenchmarkE16ChunkedScan(b *testing.B) {
+	const nRows = 1_000_000
+	tab := table(b, "voc", nRows, 1)
+	col, ok := tab.ColumnByName("tonnage")
+	if !ok {
+		b.Fatal("no tonnage column")
+	}
+	ton := col.(engine.IntValued)
+	sum := tab.SummaryByName("tonnage")
+	all := tab.AllChunked()
+	r := engine.IntRange{Lo: 150, Hi: 800, LoIncl: true, HiIncl: false}
+	b.Run("flat/workers=1", func(b *testing.B) {
+		engine.SetScanWorkers(1)
+		defer engine.SetScanWorkers(0)
+		flat := tab.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sel := engine.FilterIntRange(ton, flat, r)
+			if _, ok := engine.IntMedian(ton, sel); !ok {
+				b.Fatal("empty selection")
+			}
+			// Pack like the chunked loop does, so the two compare
+			// the same filter+median+pack pipeline.
+			_ = engine.NewBitmap(sel, nRows)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chunked/workers=%d", workers), func(b *testing.B) {
+			engine.SetScanWorkers(workers)
+			defer engine.SetScanWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs := engine.FilterIntRangeChunked(ton, all, r, sum)
+				if _, ok := engine.IntMedianChunked(ton, cs); !ok {
+					b.Fatal("empty selection")
+				}
+				_ = engine.NewBitmapChunked(cs)
+			}
+		})
+	}
+}
+
+// BenchmarkE17ScaleAdvise is the 10M-row end-to-end comparison the
+// chunked storage layer exists for; it generates a ~10M-row VOC
+// table (several hundred MB of columns), so it only runs when
+// CHARLES_SCALE=1 — `make bench-scale` sets it. The advise must
+// complete without exhausting memory; wall-clock across worker
+// counts is the scaling measurement.
+func BenchmarkE17ScaleAdvise(b *testing.B) {
+	if os.Getenv("CHARLES_SCALE") == "" {
+		b.Skip("10M-row scale run; set CHARLES_SCALE=1 (make bench-scale) to enable")
+	}
+	const nRows = 10_000_000
+	tab := table(b, "voc", nRows, 1)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			ctx := contextOn(b, tab, "type_of_boat", "tonnage", "departure_harbour")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := seg.NewEvaluator(tab)
+				if _, err := core.HBCuts(ev, ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"container/list"
 	"crypto/rand"
 	"encoding/hex"
 	"flag"
@@ -47,6 +48,79 @@ const sessionCookie = "charles_session"
 // query would pin rows-sized selections in memory forever.
 const evaluatorCacheLimit = 1 << 16
 
+// resultCacheCap bounds the cross-session result cache: advised
+// results keyed by (canonical context, config fingerprint), so
+// repeated advise calls on the same context — the common case when
+// many users start from the same landing exploration — return
+// instantly regardless of which session asked first.
+const resultCacheCap = 256
+
+// resultCache is a bounded LRU of advise results shared by every
+// session. Results are immutable once computed, so cache hits hand
+// out the same *charles.Result to concurrent sessions. Concurrent
+// misses on one key may both advise; the results are identical and
+// the last store wins — cheaper than single-flight plumbing for a
+// cache whose misses are already the slow path.
+type resultCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	m    map[string]*list.Element
+	hits int
+}
+
+type resultEntry struct {
+	key string
+	res *charles.Result
+}
+
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (rc *resultCache) get(key string) (*charles.Result, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.m[key]
+	if !ok {
+		return nil, false
+	}
+	rc.ll.MoveToFront(el)
+	rc.hits++
+	return el.Value.(*resultEntry).res, true
+}
+
+// put stores key → res, evicting the least recently used entry over
+// the cap.
+func (rc *resultCache) put(key string, res *charles.Result) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.m[key]; ok {
+		el.Value.(*resultEntry).res = res
+		rc.ll.MoveToFront(el)
+		return
+	}
+	rc.m[key] = rc.ll.PushFront(&resultEntry{key: key, res: res})
+	if rc.ll.Len() > rc.cap {
+		oldest := rc.ll.Back()
+		rc.ll.Remove(oldest)
+		delete(rc.m, oldest.Value.(*resultEntry).key)
+	}
+}
+
+// configFingerprint canonicalizes the knobs that shape advise
+// output. Workers, Selection and ChunkRows are deliberately absent:
+// ranked output is identical across them by design (and by test), so
+// including them would only fragment the cache. Score does change
+// ranked output but is a function value with no canonical form;
+// newServer disables result caching entirely when one is set, so it
+// never needs to appear here.
+func configFingerprint(cfg charles.Config) string {
+	return fmt.Sprintf("mi=%v|md=%d|cut=%+v|chi=%v|alpha=%v|pair=%d|seed=%d",
+		cfg.MaxIndep, cfg.MaxDepth, cfg.Cut, cfg.UseChiSquare, cfg.ChiAlpha, cfg.Pairing, cfg.Seed)
+}
+
 // session holds one user's exploration state. Its mutex serializes
 // that user's requests only; different sessions advise concurrently
 // on the shared advisor.
@@ -62,10 +136,13 @@ type session struct {
 }
 
 // server is the multi-session advisory service: one shared advisor
-// over the read-only table, plus per-user sessions.
+// over the read-only table, per-user sessions, and a cross-session
+// result cache so identical explorations cost one advise.
 type server struct {
 	adv        *charles.Advisor
 	initialCtx charles.Query
+	results    *resultCache
+	cfgFP      string
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -73,22 +150,50 @@ type server struct {
 
 func newServer(adv *charles.Advisor, initialCtx charles.Query) *server {
 	adv.Evaluator().SetCacheLimit(evaluatorCacheLimit)
-	return &server{
+	sv := &server{
 		adv:        adv,
 		initialCtx: initialCtx,
+		cfgFP:      configFingerprint(adv.Config()),
 		sessions:   make(map[string]*session),
 	}
+	// A custom ScoreFunc reorders results but cannot be
+	// fingerprinted (it is an arbitrary function), so caching under
+	// it could serve rankings computed for a different score. The
+	// command line cannot set one today; this guards embedders.
+	if adv.Config().Score == nil {
+		sv.results = newResultCache(resultCacheCap)
+	}
+	return sv
+}
+
+// advise returns the ranked result for ctx, serving repeats — from
+// any session — out of the result cache when caching is enabled.
+func (sv *server) advise(ctx charles.Query) (*charles.Result, error) {
+	if sv.results == nil {
+		return sv.adv.Advise(ctx)
+	}
+	key := ctx.Key() + "\x00" + sv.cfgFP
+	if res, ok := sv.results.get(key); ok {
+		return res, nil
+	}
+	res, err := sv.adv.Advise(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sv.results.put(key, res)
+	return res, nil
 }
 
 func main() {
 	var (
-		csvPath = flag.String("csv", "", "load this CSV file")
-		dsName  = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
-		rows    = flag.Int("rows", 50000, "rows for built-in datasets")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		addr    = flag.String("addr", ":8080", "listen address")
-		context = flag.String("context", "", "initial SDL context (empty = all columns)")
-		workers = flag.Int("workers", 0, "advisor worker goroutines per advise (0 = all CPUs)")
+		csvPath   = flag.String("csv", "", "load this CSV file")
+		dsName    = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
+		rows      = flag.Int("rows", 50000, "rows for built-in datasets")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		context   = flag.String("context", "", "initial SDL context (empty = all columns)")
+		workers   = flag.Int("workers", 0, "advisor worker goroutines per advise (0 = all CPUs)")
+		chunkRows = flag.Int("chunk-rows", 0, "row-range chunk width of the storage layer (0 = auto, 64K)")
 	)
 	flag.Parse()
 
@@ -105,6 +210,7 @@ func main() {
 	}
 	cfg := charles.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.ChunkRows = *chunkRows
 	adv := charles.NewAdvisor(tab, cfg)
 	ctx, err := adv.ParseContext(*context)
 	if err != nil {
@@ -239,7 +345,7 @@ func (sv *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.res == nil {
-		res, err := sv.adv.Advise(s.ctx)
+		res, err := sv.advise(s.ctx)
 		if err != nil {
 			sv.render(w, charles.Query{}, nil, -1, "advise: "+err.Error())
 			return

@@ -274,3 +274,64 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestResultCacheSharedAcrossSessions pins the cross-session result
+// cache: two different browsers advising on the same context cost
+// one advise — the second is served from the (context, config) LRU.
+func TestResultCacheSharedAcrossSessions(t *testing.T) {
+	sv := testServer(t)
+	a := newClient(t, sv)
+	b := newClient(t, sv)
+	if _, body := a.get("/"); !strings.Contains(body, "Proposed segmentations") {
+		t.Fatal("first session did not render advice")
+	}
+	if sv.results.hits != 0 {
+		t.Fatalf("first advise hit the cache (%d hits)", sv.results.hits)
+	}
+	if _, body := b.get("/"); !strings.Contains(body, "Proposed segmentations") {
+		t.Fatal("second session did not render advice")
+	}
+	if sv.results.hits != 1 {
+		t.Fatalf("second session's advise missed the cache (%d hits)", sv.results.hits)
+	}
+	if a.session.Value == b.session.Value {
+		t.Fatal("clients unexpectedly shared a session")
+	}
+	// Both sessions hold the identical immutable result.
+	ra, rb := a.sessionState(sv).res, b.sessionState(sv).res
+	if ra == nil || ra != rb {
+		t.Fatal("sessions do not share the cached result")
+	}
+	// A different context misses, then repeats hit.
+	if _, _ = a.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits != 1 {
+		t.Fatalf("distinct context should miss (%d hits)", sv.results.hits)
+	}
+	if _, _ = b.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits != 2 {
+		t.Fatalf("repeated distinct context should hit (%d hits)", sv.results.hits)
+	}
+}
+
+// TestResultCacheLRUBounded pins the eviction policy: the cache
+// never exceeds its cap and drops the least recently used entry.
+func TestResultCacheLRUBounded(t *testing.T) {
+	rc := newResultCache(2)
+	r := &charles.Result{}
+	rc.put("a", r)
+	rc.put("b", r)
+	if _, ok := rc.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	rc.put("c", r)
+	if rc.ll.Len() != 2 {
+		t.Fatalf("cache grew to %d entries, cap 2", rc.ll.Len())
+	}
+	if _, ok := rc.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := rc.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := rc.get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+}

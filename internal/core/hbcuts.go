@@ -92,6 +92,11 @@ type hbState struct {
 	indep   map[[2]int]float64
 	rng     *rand.Rand
 	res     *Result
+	// memo shares assembled pair sides (gathered selections +
+	// packed bitmaps) across every pairwise operator call of this
+	// advise, so a candidate evaluated against O(n) partners is
+	// built once, not once per INDEP.
+	memo *seg.PairMemo
 }
 
 // HBCuts runs the Figure 4 algorithm: seed one binary segmentation
@@ -133,6 +138,7 @@ func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, err
 		context: context,
 		indep:   make(map[[2]int]float64),
 		res:     &Result{Context: context},
+		memo:    seg.NewPairMemo(),
 	}
 	if cfg.Pairing == PairRandom {
 		st.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -309,10 +315,10 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 }
 
 // pairOpts builds the options one pairwise operator call runs
-// under: the configured selection representation, with its cell
-// loop bounded at workers goroutines.
+// under: the configured selection representation, the advise-wide
+// pair-side memo, with the cell loop bounded at workers goroutines.
 func (st *hbState) pairOpts(workers int) seg.PairOptions {
-	return seg.PairOptions{Workers: workers, Rep: st.cfg.Selection}
+	return seg.PairOptions{Workers: workers, Rep: st.cfg.Selection, Memo: st.memo}
 }
 
 func pairKey(a, b candidate) [2]int {

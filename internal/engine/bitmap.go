@@ -10,12 +10,27 @@ import "math/bits"
 // branches. Sparse selections stay cheaper as row-id vectors; see
 // DenseEnough for the crossover heuristic.
 //
+// The words are sharded by the same row-range chunks as the rest of
+// the storage layer: chunks[c] holds chunk c's bits, and a chunk
+// with no selected rows stays nil — never allocated, skipped by
+// every operation. An extent confined to one region of a 10M-row
+// table therefore costs words proportional to the region, not the
+// table, and AndCount skips disjoint regions chunk-at-a-time.
+//
 // A Bitmap is immutable after construction and therefore safe for
 // concurrent readers, matching the Selection contract.
 type Bitmap struct {
-	words []uint64
-	nRows int
-	ones  int
+	chunks    [][]uint64
+	nRows     int
+	chunkRows int
+	// chunkShift/chunkMask hold the shift+mask form of the chunk
+	// addressing when chunkRows is a power of two (every table
+	// layout; Contains is a per-row hot path under the mixed
+	// sparse-probe-dense intersection). chunkMask is 0 for the
+	// off-path non-power-of-two widths, which divide instead.
+	chunkShift uint
+	chunkMask  int
+	ones       int
 }
 
 // bitmapDensityDen is the density crossover denominator: at
@@ -31,16 +46,45 @@ func DenseEnough(selLen, nRows int) bool {
 }
 
 // NewBitmap packs a sorted selection over an nRows universe into a
-// bitmap. Every row id must be in [0, nRows).
+// bitmap chunked at the default width. Every row id must be in
+// [0, nRows).
 func NewBitmap(sel Selection, nRows int) *Bitmap {
+	return NewBitmapChunked(ChunkSelection(sel, nRows, DefaultChunkRows))
+}
+
+// NewBitmapChunked packs a chunked selection into a bitmap with the
+// same chunk layout, one chunk per worker-pool task. Empty chunks
+// stay nil.
+func NewBitmapChunked(cs *ChunkedSelection) *Bitmap {
 	b := &Bitmap{
-		words: make([]uint64, (nRows+63)/64),
-		nRows: nRows,
-		ones:  len(sel),
+		chunks:    make([][]uint64, cs.NumChunks()),
+		nRows:     cs.NumRows(),
+		chunkRows: cs.ChunkRows(),
+		ones:      cs.Len(),
 	}
-	for _, row := range sel {
-		b.words[row>>6] |= 1 << (uint(row) & 63)
+	if b.chunkRows&(b.chunkRows-1) == 0 {
+		b.chunkMask = b.chunkRows - 1
+		for 1<<b.chunkShift < b.chunkRows {
+			b.chunkShift++
+		}
 	}
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		base := int32(c * b.chunkRows)
+		top := b.chunkRows
+		if rest := b.nRows - c*b.chunkRows; rest < top {
+			top = rest
+		}
+		words := make([]uint64, (top+63)/64)
+		for _, row := range seg {
+			local := row - base
+			words[local>>6] |= 1 << (uint(local) & 63)
+		}
+		b.chunks[c] = words
+	})
 	return b
 }
 
@@ -56,52 +100,120 @@ func (b *Bitmap) Contains(row int32) bool {
 	if row < 0 || int(row) >= b.nRows {
 		return false
 	}
-	return b.words[row>>6]&(1<<(uint(row)&63)) != 0
+	var c, local int
+	if b.chunkMask != 0 {
+		c = int(row) >> b.chunkShift
+		local = int(row) & b.chunkMask
+	} else {
+		c = int(row) / b.chunkRows
+		local = int(row) - c*b.chunkRows
+	}
+	words := b.chunks[c]
+	if words == nil {
+		return false
+	}
+	return words[local>>6]&(1<<(uint(local)&63)) != 0
 }
 
-// AndCount returns |b ∩ o| by word-wise AND + popcount, without
+// sameLayout reports whether two bitmaps shard their words
+// identically, making word-wise operations chunk-aligned.
+func sameLayout(a, o *Bitmap) bool { return a.chunkRows == o.chunkRows }
+
+// AndCount returns |b ∩ o| by chunk-wise word AND + popcount,
+// skipping every chunk either side leaves empty, without
 // materializing the intersection — the bitmap counterpart of
-// IntersectCount.
+// IntersectCount. Universes may differ in size; the count is over
+// the shared prefix, as with the row-id merge.
 func (b *Bitmap) AndCount(o *Bitmap) int {
-	w, ow := b.words, o.words
-	if len(ow) < len(w) {
-		w, ow = ow, w
+	if !sameLayout(b, o) {
+		return andCountMismatched(b, o)
+	}
+	nc := len(b.chunks)
+	if len(o.chunks) < nc {
+		nc = len(o.chunks)
 	}
 	n := 0
-	for i, x := range w {
-		n += bits.OnesCount64(x & ow[i])
+	for c := 0; c < nc; c++ {
+		wa, wb := b.chunks[c], o.chunks[c]
+		if wa == nil || wb == nil {
+			continue
+		}
+		if len(wb) < len(wa) {
+			wa, wb = wb, wa
+		}
+		for i, x := range wa {
+			n += bits.OnesCount64(x & wb[i])
+		}
 	}
 	return n
 }
 
+// andCountMismatched handles the off-path case of bitmaps packed at
+// different chunk widths (never produced by one evaluator): probe
+// the sparser side's rows against the other.
+func andCountMismatched(a, o *Bitmap) int {
+	if o.ones < a.ones {
+		a, o = o, a
+	}
+	return AndCountSelection(o, a.Selection())
+}
+
 // And returns the materialized intersection b ∩ o as a fresh bitmap
-// over the smaller universe.
+// over the smaller universe. Chunks empty on either side stay nil in
+// the result.
 func (b *Bitmap) And(o *Bitmap) *Bitmap {
 	small, big := b, o
 	if big.nRows < small.nRows {
 		small, big = big, small
 	}
-	out := &Bitmap{
-		words: make([]uint64, len(small.words)),
-		nRows: small.nRows,
+	if !sameLayout(small, big) {
+		sel := Intersect(small.Selection(), big.Selection())
+		return NewBitmapChunked(ChunkSelection(sel, small.nRows, small.chunkRows))
 	}
-	for i, x := range small.words {
-		w := x & big.words[i]
-		out.words[i] = w
-		out.ones += bits.OnesCount64(w)
+	out := &Bitmap{
+		chunks:     make([][]uint64, len(small.chunks)),
+		nRows:      small.nRows,
+		chunkRows:  small.chunkRows,
+		chunkShift: small.chunkShift,
+		chunkMask:  small.chunkMask,
+	}
+	for c := range small.chunks {
+		wa, wb := small.chunks[c], big.chunks[c]
+		if wa == nil || wb == nil {
+			continue
+		}
+		if len(wb) < len(wa) {
+			wa, wb = wb, wa
+		}
+		words := make([]uint64, len(wa))
+		onesBefore := out.ones
+		for i, x := range wa {
+			w := x & wb[i]
+			words[i] = w
+			out.ones += bits.OnesCount64(w)
+		}
+		if out.ones > onesBefore {
+			out.chunks[c] = words
+		}
 	}
 	return out
 }
 
 // Selection materializes the bitmap back into a sorted row-id
-// vector, the exact inverse of NewBitmap.
+// vector, the exact inverse of NewBitmap, skipping empty chunks.
 func (b *Bitmap) Selection() Selection {
 	out := make(Selection, 0, b.ones)
-	for wi, w := range b.words {
-		base := int32(wi) << 6
-		for w != 0 {
-			out = append(out, base+int32(bits.TrailingZeros64(w)))
-			w &= w - 1
+	for c, words := range b.chunks {
+		if words == nil {
+			continue
+		}
+		chunkBase := int32(c * b.chunkRows)
+		for wi, w := range words {
+			base := chunkBase + int32(wi)<<6
+			for w != 0 {
+				out = append(out, base+int32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
 		}
 	}
 	return out

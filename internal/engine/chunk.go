@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"charles/internal/par"
+)
+
+// DefaultChunkRows is the automatic row-range chunk width: 64K rows
+// per chunk. Chunks are the unit of parallelism (one chunk scans on
+// one goroutine) and of skipping (per-chunk min/max summaries prune
+// chunks a range predicate cannot match), so the width trades
+// scheduling granularity against summary overhead. 64K keeps a
+// chunk's row ids within one L2-sized working set while a 10M-row
+// table still splits into ~150 independently schedulable pieces.
+const DefaultChunkRows = 1 << 16
+
+// minChunkRows is the smallest permitted chunk width: one bitmap
+// word's worth of rows.
+const minChunkRows = 64
+
+// maxChunkRows caps the chunk width at 2^30 rows: wider chunks are
+// indistinguishable from "one chunk" for any table the engine can
+// address with int32 row ids, and the cap keeps the power-of-two
+// rounding below from overflowing on absurd configured values.
+const maxChunkRows = 1 << 30
+
+// normalizeChunkRows resolves a configured chunk width: values < 1
+// mean the automatic default, everything else is clamped to
+// [64, 2^30] and rounded up to the next power of two. Power-of-two
+// widths keep the per-row chunk addressing — the Bitmap.Contains
+// hot path — a shift+mask instead of a hardware divide.
+func normalizeChunkRows(n int) int {
+	if n < 1 {
+		return DefaultChunkRows
+	}
+	if n > maxChunkRows {
+		return maxChunkRows
+	}
+	p := minChunkRows
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// tableLayout bundles a chunk width with the zone maps built for it.
+// The table swaps the whole bundle atomically on re-shard, so a
+// reader holding one snapshot can never pair one layout's width with
+// another layout's summaries.
+type tableLayout struct {
+	chunkRows int
+	summaries []atomic.Pointer[ChunkSummary]
+}
+
+func newTableLayout(chunkRows, numCols int) *tableLayout {
+	return &tableLayout{
+		chunkRows: chunkRows,
+		summaries: make([]atomic.Pointer[ChunkSummary], numCols),
+	}
+}
+
+// SetChunkRows fixes the table's row-range chunk width. n < 1
+// restores the automatic default; other values are rounded up to a
+// power of two (minimum 64, the bitmap word size). Setting a width
+// the table already has is a no-op, so advisors sharing a table with
+// the same configuration never churn its zone maps. Re-sharding
+// swaps the layout and its zone maps as one atomic unit, and
+// evaluators re-chunk selections cached under the old layout on use
+// — but a re-shard concurrent with serving still wastes the caches
+// it obsoletes, so fix the layout before the table serves queries.
+func (t *Table) SetChunkRows(n int) {
+	n = normalizeChunkRows(n)
+	if cur := t.layout.Load(); cur != nil && cur.chunkRows == n {
+		return
+	}
+	t.layout.Store(newTableLayout(n, len(t.cols)))
+}
+
+// ChunkRows returns the table's row-range chunk width.
+func (t *Table) ChunkRows() int { return t.layout.Load().chunkRows }
+
+// NumChunks returns the number of row-range chunks the table splits
+// into: ceil(rows / chunkRows), 0 for an empty table.
+func (t *Table) NumChunks() int { return numChunksFor(t.rows, t.ChunkRows()) }
+
+// numChunksFor is the chunk count for an nRows universe at the given
+// chunk width.
+func numChunksFor(nRows, chunkRows int) int {
+	if nRows <= 0 {
+		return 0
+	}
+	return (nRows + chunkRows - 1) / chunkRows
+}
+
+// ChunkBounds returns chunk c's half-open global row interval
+// [lo, hi) under the current layout.
+func (t *Table) ChunkBounds(c int) (lo, hi int) {
+	return t.chunkBounds(t.layout.Load(), c)
+}
+
+func (t *Table) chunkBounds(lay *tableLayout, c int) (lo, hi int) {
+	lo = c * lay.chunkRows
+	hi = lo + lay.chunkRows
+	if hi > t.rows {
+		hi = t.rows
+	}
+	return lo, hi
+}
+
+// AllChunked returns the identity selection over the table in
+// chunked form.
+func (t *Table) AllChunked() *ChunkedSelection {
+	return AllRowsChunked(t.rows, t.ChunkRows())
+}
+
+// Layout returns a consistent snapshot of the table's chunk design:
+// its width and the zone maps built for that width. Callers that
+// consult both — the evaluator pairing re-chunked selections with
+// zone-map verdicts — must read them through one snapshot, so a
+// concurrent re-shard can never mix layouts.
+func (t *Table) Layout() Layout { return Layout{t: t, lay: t.layout.Load()} }
+
+// Layout is one immutable chunk-design snapshot of a table.
+type Layout struct {
+	t   *Table
+	lay *tableLayout
+}
+
+// ChunkRows returns the snapshot's chunk width.
+func (l Layout) ChunkRows() int { return l.lay.chunkRows }
+
+// Summary returns the snapshot's lazily built zone map for column i,
+// or nil for column kinds that have none.
+func (l Layout) Summary(i int) *ChunkSummary { return l.t.summaryIn(l.lay, i) }
+
+// SummaryByName is Summary addressed by column name; nil when the
+// column does not exist or has no zone map.
+func (l Layout) SummaryByName(name string) *ChunkSummary {
+	i, ok := l.t.byName[name]
+	if !ok {
+		return nil
+	}
+	return l.t.summaryIn(l.lay, i)
+}
+
+// ChunkSummary is one column's per-chunk zone map: the min/max of
+// every row-range chunk, computed over the raw column (not a
+// selection). Range filters consult it to skip chunks no row of
+// which can match, and to pass chunks wholesale when every row must.
+// Only numeric columns (int, date, float) are summarized; nominal
+// predicates are set-shaped and gain nothing from ordered bounds.
+type ChunkSummary struct {
+	intMin, intMax     []int64
+	floatMin, floatMax []float64
+	// floatPure[c] is true when chunk c holds no NaN: only then may a
+	// disjoint range skip the chunk, because NaN rows match every
+	// range (FloatRange.Contains(NaN) is true) regardless of the
+	// finite bounds.
+	floatPure []bool
+}
+
+// IntBounds returns chunk c's [min, max] over the raw column.
+func (s *ChunkSummary) IntBounds(c int) (lo, hi int64) {
+	return s.intMin[c], s.intMax[c]
+}
+
+// FloatBounds returns chunk c's NaN-ignoring [min, max] and whether
+// the chunk is NaN-free. On an all-NaN chunk the bounds are NaN.
+func (s *ChunkSummary) FloatBounds(c int) (lo, hi float64, pure bool) {
+	return s.floatMin[c], s.floatMax[c], s.floatPure[c]
+}
+
+// Summary returns the current layout's lazily built zone map of
+// column i, or nil for column kinds that have none. Building fans
+// the chunks out across the scan worker pool; concurrent first calls
+// may build twice, and the identical results make either winner
+// correct.
+func (t *Table) Summary(i int) *ChunkSummary {
+	return t.summaryIn(t.layout.Load(), i)
+}
+
+// SummaryByName is Summary addressed by column name; nil when the
+// column does not exist or has no zone map.
+func (t *Table) SummaryByName(name string) *ChunkSummary {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil
+	}
+	return t.Summary(i)
+}
+
+func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
+	switch t.cols[i].(type) {
+	case IntValued, FloatValued:
+	default:
+		return nil
+	}
+	if s := lay.summaries[i].Load(); s != nil {
+		return s
+	}
+	s := t.buildSummary(lay, t.cols[i])
+	lay.summaries[i].CompareAndSwap(nil, s)
+	return lay.summaries[i].Load()
+}
+
+// buildSummary computes the zone map, one chunk per worker-pool
+// task.
+func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
+	nc := numChunksFor(t.rows, lay.chunkRows)
+	s := &ChunkSummary{}
+	switch col := col.(type) {
+	case IntValued:
+		s.intMin = make([]int64, nc)
+		s.intMax = make([]int64, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			lo, hi := t.chunkBounds(lay, c)
+			mn := col.Int64(lo)
+			mx := mn
+			for r := lo + 1; r < hi; r++ {
+				v := col.Int64(r)
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			s.intMin[c], s.intMax[c] = mn, mx
+			return nil
+		})
+	case FloatValued:
+		s.floatMin = make([]float64, nc)
+		s.floatMax = make([]float64, nc)
+		s.floatPure = make([]bool, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			lo, hi := t.chunkBounds(lay, c)
+			mn, mx := math.NaN(), math.NaN()
+			pure := true
+			for r := lo; r < hi; r++ {
+				v := col.Float64(r)
+				if v != v { // NaN
+					pure = false
+					continue
+				}
+				if mn != mn || v < mn {
+					mn = v
+				}
+				if mx != mx || v > mx {
+					mx = v
+				}
+			}
+			s.floatMin[c], s.floatMax[c], s.floatPure[c] = mn, mx, pure
+			return nil
+		})
+	}
+	return s
+}

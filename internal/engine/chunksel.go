@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ChunkedSelection is a Selection sharded by the table's row-range
+// chunks: segment c holds exactly the selected row ids that fall in
+// chunk c's interval, still as global, sorted int32 ids. The chunked
+// form is what the scan layer operates on — each segment filters,
+// gathers or counts independently on one worker, empty segments are
+// skipped outright, and concatenating the segments in chunk order
+// reproduces the flat sorted selection, which is why every chunked
+// operator is deterministic at any worker count.
+//
+// The flat view is materialized lazily: operators that only need
+// per-chunk work (filters, counts, min/max) never pay for it, while
+// consumers of the old contract (metrics, sampling, validation) get
+// it on first request and share it afterwards. Like Selection, a
+// ChunkedSelection is immutable once built.
+type ChunkedSelection struct {
+	nRows     int
+	chunkRows int
+	count     int
+	segs      []Selection
+	flat      atomic.Pointer[Selection]
+}
+
+// NewChunkedSelection wraps per-chunk segments (global sorted row
+// ids, one slice per chunk, len(segs) = ceil(nRows/chunkRows)) into
+// a chunked selection. The segments are not copied.
+func NewChunkedSelection(nRows, chunkRows int, segs []Selection) *ChunkedSelection {
+	cs := &ChunkedSelection{nRows: nRows, chunkRows: chunkRows, segs: segs}
+	for _, s := range segs {
+		cs.count += len(s)
+	}
+	return cs
+}
+
+// ChunkSelection shards a flat sorted selection by chunk boundaries.
+// Segments alias sel (no copy), and sel itself is retained as the
+// already-materialized flat view.
+func ChunkSelection(sel Selection, nRows, chunkRows int) *ChunkedSelection {
+	nc := numChunksFor(nRows, chunkRows)
+	segs := make([]Selection, nc)
+	rest := sel
+	for c := 0; c < nc && len(rest) > 0; c++ {
+		// The boundary is compared in int: converting it to int32
+		// would overflow for tables within one chunk of the 2^31
+		// row-id ceiling and silently file the tail rows nowhere.
+		bound := (c + 1) * chunkRows
+		cut := sort.Search(len(rest), func(i int) bool { return int(rest[i]) >= bound })
+		segs[c] = rest[:cut:cut]
+		rest = rest[cut:]
+	}
+	cs := &ChunkedSelection{nRows: nRows, chunkRows: chunkRows, count: len(sel), segs: segs}
+	cs.flat.Store(&sel)
+	return cs
+}
+
+// AllRowsChunked returns the chunked identity selection 0..nRows−1:
+// one backing array, one aliasing segment per chunk.
+func AllRowsChunked(nRows, chunkRows int) *ChunkedSelection {
+	return ChunkSelection(AllRows(nRows), nRows, chunkRows)
+}
+
+// NumRows returns the universe size the selection is over.
+func (cs *ChunkedSelection) NumRows() int { return cs.nRows }
+
+// ChunkRows returns the chunk width of the layout.
+func (cs *ChunkedSelection) ChunkRows() int { return cs.chunkRows }
+
+// NumChunks returns the number of chunks in the layout (including
+// empty ones).
+func (cs *ChunkedSelection) NumChunks() int { return len(cs.segs) }
+
+// Len returns the total number of selected rows.
+func (cs *ChunkedSelection) Len() int { return cs.count }
+
+// Seg returns chunk c's segment (possibly empty). Must not be
+// mutated.
+func (cs *ChunkedSelection) Seg(c int) Selection { return cs.segs[c] }
+
+// Flat materializes (once) and returns the selection's flat sorted
+// view — the concatenation of the segments in chunk order. Must not
+// be mutated. Concurrent first calls may both build it; the results
+// are identical and either pointer wins.
+func (cs *ChunkedSelection) Flat() Selection {
+	if p := cs.flat.Load(); p != nil {
+		return *p
+	}
+	var out Selection
+	switch {
+	case cs.count == 0:
+		out = Selection{}
+	case len(cs.segs) == 1:
+		out = cs.segs[0]
+	default:
+		out = make(Selection, 0, cs.count)
+		for _, seg := range cs.segs {
+			out = append(out, seg...)
+		}
+	}
+	cs.flat.CompareAndSwap(nil, &out)
+	return *cs.flat.Load()
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"math"
+
+	"charles/internal/par"
+	"charles/internal/stats"
+)
+
+// GatherIntChunked materializes col's int64 values per chunk: one
+// output slice per chunk, aligned with cs's segments, gathered
+// across the scan worker pool. Unlike GatherInt there is no global
+// copy — downstream chunked order statistics consume the shards
+// directly.
+func GatherIntChunked(col IntValued, cs *ChunkedSelection) [][]int64 {
+	out := make([][]int64, cs.NumChunks())
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		vals := make([]int64, len(seg))
+		for i, row := range seg {
+			vals[i] = col.Int64(int(row))
+		}
+		out[c] = vals
+	})
+	return out
+}
+
+// GatherFloatChunked is GatherIntChunked for float columns.
+func GatherFloatChunked(col FloatValued, cs *ChunkedSelection) [][]float64 {
+	out := make([][]float64, cs.NumChunks())
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		vals := make([]float64, len(seg))
+		for i, row := range seg {
+			vals[i] = col.Float64(int(row))
+		}
+		out[c] = vals
+	})
+	return out
+}
+
+// IntMinMaxChunked returns the minimum and maximum of col over cs by
+// reducing per-chunk partials in chunk order. ok is false when the
+// selection is empty.
+func IntMinMaxChunked(col IntValued, cs *ChunkedSelection) (min, max int64, ok bool) {
+	if cs.Len() == 0 {
+		return 0, 0, false
+	}
+	nc := cs.NumChunks()
+	mins := make([]int64, nc)
+	maxs := make([]int64, nc)
+	seen := make([]bool, nc)
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		lo := col.Int64(int(seg[0]))
+		hi := lo
+		for _, row := range seg[1:] {
+			v := col.Int64(int(row))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mins[c], maxs[c], seen[c] = lo, hi, true
+	})
+	first := true
+	for c := 0; c < nc; c++ {
+		if !seen[c] {
+			continue
+		}
+		if first {
+			min, max, first = mins[c], maxs[c], false
+			continue
+		}
+		if mins[c] < min {
+			min = mins[c]
+		}
+		if maxs[c] > max {
+			max = maxs[c]
+		}
+	}
+	return min, max, true
+}
+
+// FloatMinMaxChunked is IntMinMaxChunked over floats, ignoring NaN
+// exactly like FloatMinMax: NaN rows never seed or move a bound, and
+// an all-NaN selection yields NaN bounds.
+func FloatMinMaxChunked(col FloatValued, cs *ChunkedSelection) (min, max float64, ok bool) {
+	if cs.Len() == 0 {
+		return 0, 0, false
+	}
+	nc := cs.NumChunks()
+	mins := make([]float64, nc)
+	maxs := make([]float64, nc)
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		lo, hi := math.NaN(), math.NaN()
+		for _, row := range seg {
+			v := col.Float64(int(row))
+			if v != v { // NaN
+				continue
+			}
+			if lo != lo || v < lo {
+				lo = v
+			}
+			if hi != hi || v > hi {
+				hi = v
+			}
+		}
+		mins[c], maxs[c] = lo, hi
+	})
+	min, max = math.NaN(), math.NaN()
+	for c := 0; c < nc; c++ {
+		if len(cs.Seg(c)) == 0 {
+			continue
+		}
+		if mins[c] == mins[c] && (min != min || mins[c] < min) {
+			min = mins[c]
+		}
+		if maxs[c] == maxs[c] && (max != max || maxs[c] > max) {
+			max = maxs[c]
+		}
+	}
+	return min, max, true
+}
+
+// statWorkers reserves scan-pool slots for a chunked order-statistic
+// computation (per-chunk sorts), returning the worker count to hand
+// to internal/stats and the paired release. Routing the sort through
+// the same slot budget (reserveSegSlots) as the scans keeps nested
+// parallelism — many advise workers each computing cut points — from
+// oversubscribing the scheduler, exactly like the chunked scans
+// themselves. Reserve only after the gather phase: the gather takes
+// slots of its own, and holding them across it would starve it to
+// sequential.
+func statWorkers(cs *ChunkedSelection) (workers int, release func()) {
+	extra, release := reserveSegSlots(cs)
+	return extra + 1, release
+}
+
+// flattenInt64 concatenates per-chunk shards into one fresh vector.
+func flattenInt64(chunks [][]int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+func flattenFloat64(chunks [][]float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// posZero canonicalizes -0.0 to +0.0. The chunked rank selection
+// always returns +0.0 for a selected zero; the sequential fallbacks
+// (quickselect, flat sort) return whichever zero's bit pattern sat
+// at the rank, and the two must not render differently ("-0" vs
+// "0") based on which branch a call happened to take.
+func posZero(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
+func posZeros(vals []float64) []float64 {
+	for i, v := range vals {
+		vals[i] = posZero(v)
+	}
+	return vals
+}
+
+// gatherFloatFinite is GatherFloatChunked minus NaN values: the
+// order statistics (medians, equi-depth points) need a totally
+// ordered multiset, and NaN has no rank. Dropping it here — always,
+// in every branch — keeps the cut points deterministic: they depend
+// only on the finite values, never on which algorithm or worker
+// count a particular call happened to get. (This mirrors the NaN
+// convention of FloatMinMax.) n is the finite-value total.
+func gatherFloatFinite(col FloatValued, cs *ChunkedSelection) (chunks [][]float64, n int) {
+	chunks = make([][]float64, cs.NumChunks())
+	counts := make([]int, cs.NumChunks())
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		vals := make([]float64, 0, len(seg))
+		for _, row := range seg {
+			v := col.Float64(int(row))
+			if v == v { // not NaN
+				vals = append(vals, v)
+			}
+		}
+		chunks[c] = vals
+		counts[c] = len(vals)
+	})
+	for _, k := range counts {
+		n += k
+	}
+	return chunks, n
+}
+
+// IntMedianChunked returns the upper median of col over cs — the
+// Definition 5 cut point. With parallelism granted it never
+// materializes a flat vector: per-chunk gather, per-chunk parallel
+// sort, then one rank selection across the sorted shards. Sequential
+// calls take the O(n) quickselect over the flattened shards instead
+// — sorting only pays for itself when the chunks sort concurrently —
+// and both algorithms return the same k-th smallest element, so the
+// choice never shows in the output. ok is false when the selection
+// is empty.
+func IntMedianChunked(col IntValued, cs *ChunkedSelection) (int64, bool) {
+	if cs.Len() == 0 {
+		return 0, false
+	}
+	chunks := GatherIntChunked(col, cs)
+	workers, release := statWorkers(cs)
+	defer release()
+	if workers <= 1 {
+		return stats.MedianInt64(flattenInt64(chunks, cs.Len())), true
+	}
+	return stats.MedianInt64Chunks(chunks, workers), true
+}
+
+// FloatMedianChunked is IntMedianChunked for float columns. NaN
+// values carry no rank and are excluded before selection; an all-NaN
+// extent has no median (ok = false).
+func FloatMedianChunked(col FloatValued, cs *ChunkedSelection) (float64, bool) {
+	if cs.Len() == 0 {
+		return 0, false
+	}
+	chunks, n := gatherFloatFinite(col, cs)
+	if n == 0 {
+		return 0, false
+	}
+	workers, release := statWorkers(cs)
+	defer release()
+	if workers <= 1 {
+		return posZero(stats.MedianFloat64(flattenFloat64(chunks, n))), true
+	}
+	return stats.MedianFloat64Chunks(chunks, workers), true
+}
+
+// IntCutPointsChunked returns the same strictly increasing
+// equi-depth points as IntCutPoints, computed shard-at-a-time.
+func IntCutPointsChunked(col IntValued, cs *ChunkedSelection, arity int) []int64 {
+	if cs.Len() == 0 {
+		return nil
+	}
+	chunks := GatherIntChunked(col, cs)
+	workers, release := statWorkers(cs)
+	defer release()
+	if workers <= 1 {
+		return stats.EquiDepthPoints(flattenInt64(chunks, cs.Len()), arity)
+	}
+	return stats.EquiDepthPointsChunks(chunks, arity, workers)
+}
+
+// FloatCutPointsChunked is IntCutPointsChunked for float columns,
+// with NaN values excluded like FloatMedianChunked.
+func FloatCutPointsChunked(col FloatValued, cs *ChunkedSelection, arity int) []float64 {
+	if cs.Len() == 0 {
+		return nil
+	}
+	chunks, n := gatherFloatFinite(col, cs)
+	if n == 0 {
+		return nil
+	}
+	workers, release := statWorkers(cs)
+	defer release()
+	if workers <= 1 {
+		return posZeros(stats.EquiDepthPointsFloat64(flattenFloat64(chunks, n), arity))
+	}
+	return stats.EquiDepthPointsChunksFloat64(chunks, arity, workers)
+}
+
+// StringValueCountsChunked returns the per-value frequencies of col
+// over cs. Chunks are grouped into contiguous bands, one histogram
+// per band, so the transient memory is worker-count × cardinality —
+// not chunk-count × cardinality, which on a 10M-row table with a
+// high-cardinality column would dwarf the data scanned. Counts are
+// additive, so the band merge is order-independent and the result
+// (ordered by dictionary code) matches StringValueCounts exactly.
+func StringValueCountsChunked(col *StringColumn, cs *ChunkedSelection) []stats.ValueCount {
+	codes := col.Codes()
+	nc := cs.NumChunks()
+	workers, release := statWorkers(cs)
+	defer release()
+	if workers > nc {
+		workers = nc
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bandSize := (nc + workers - 1) / workers
+	numBands := 0
+	if nc > 0 {
+		numBands = (nc + bandSize - 1) / bandSize
+	}
+	partials := make([][]int, numBands)
+	_ = par.ForEach(workers, numBands, func(b int) error {
+		counts := make([]int, col.Cardinality())
+		hi := (b + 1) * bandSize
+		if hi > nc {
+			hi = nc
+		}
+		for c := b * bandSize; c < hi; c++ {
+			for _, row := range cs.Seg(c) {
+				counts[codes[row]]++
+			}
+		}
+		partials[b] = counts
+		return nil
+	})
+	counts := make([]int, col.Cardinality())
+	for _, p := range partials {
+		for code, n := range p {
+			counts[code] += n
+		}
+	}
+	out := make([]stats.ValueCount, 0, len(counts))
+	for code, n := range counts {
+		if n > 0 {
+			out = append(out, stats.ValueCount{Value: col.DictValue(uint32(code)), Count: n})
+		}
+	}
+	return out
+}
+
+// BoolValueCountsChunked is StringValueCountsChunked for bool
+// columns.
+func BoolValueCountsChunked(col *BoolColumn, cs *ChunkedSelection) []stats.ValueCount {
+	nc := cs.NumChunks()
+	trues := make([]int, nc)
+	falses := make([]int, nc)
+	forEachSeg(cs, func(c int) {
+		for _, row := range cs.Seg(c) {
+			if col.Bool(int(row)) {
+				trues[c]++
+			} else {
+				falses[c]++
+			}
+		}
+	})
+	var nTrue, nFalse int
+	for c := 0; c < nc; c++ {
+		nTrue += trues[c]
+		nFalse += falses[c]
+	}
+	out := make([]stats.ValueCount, 0, 2)
+	if nFalse > 0 {
+		out = append(out, stats.ValueCount{Value: "false", Count: nFalse})
+	}
+	if nTrue > 0 {
+		out = append(out, stats.ValueCount{Value: "true", Count: nTrue})
+	}
+	return out
+}

@@ -18,7 +18,10 @@ func (r IntRange) Contains(v int64) bool {
 	return true
 }
 
-// FloatRange is IntRange over float64.
+// FloatRange is IntRange over float64. Note that Contains(NaN) is
+// true — NaN fails both exclusion comparisons — so range filters
+// keep NaN rows; the zone-map verdicts must honor the same
+// convention.
 type FloatRange struct {
 	Lo, Hi         float64
 	LoIncl, HiIncl bool
@@ -35,6 +38,159 @@ func (r FloatRange) Contains(v float64) bool {
 	return true
 }
 
+// The scan kernels below narrow one contiguous sub-selection by one
+// typed predicate, with no per-row indirection. They are the single
+// implementation of each predicate: the flat filters run them via
+// parallelFilter (equal-sized pieces of one selection) and the
+// chunked filters via filterSegs (one table chunk per task), so the
+// two paths cannot drift apart.
+
+func scanIntRange(col IntValued, part Selection, r IntRange) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		if r.Contains(col.Int64(int(row))) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func scanFloatRange(col FloatValued, part Selection, r FloatRange) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		if r.Contains(col.Float64(int(row))) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func scanCodeSet(codes []uint32, part Selection, want map[uint32]struct{}) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		if _, ok := want[codes[row]]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func scanIntSet(col IntValued, part Selection, want map[int64]struct{}) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		if _, ok := want[col.Int64(int(row))]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func scanFloatSet(col FloatValued, part Selection, want map[float64]struct{}) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		if _, ok := want[col.Float64(int(row))]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func scanStringRange(col *StringColumn, part Selection, lo, hi string, loIncl, hiIncl bool) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		v := col.Str(int(row))
+		if v < lo || (v == lo && !loIncl) {
+			continue
+		}
+		if v > hi || (v == hi && !hiIncl) {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func scanBoolSet(col *BoolColumn, part Selection, wantTrue, wantFalse bool) Selection {
+	out := make(Selection, 0, len(part))
+	for _, row := range part {
+		v := col.Bool(int(row))
+		if (v && wantTrue) || (!v && wantFalse) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// stringCodeSet resolves values to dictionary codes: one map lookup
+// per distinct value, then the scans probe dense codes per row.
+func stringCodeSet(col *StringColumn, values []string) map[uint32]struct{} {
+	want := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		if code, ok := col.CodeOf(v); ok {
+			want[code] = struct{}{}
+		}
+	}
+	return want
+}
+
+// int64Set builds the membership set plus its hull [min, max] (for
+// zone-map pruning). values must be non-empty.
+func int64Set(values []int64) (want map[int64]struct{}, min, max int64) {
+	want = make(map[int64]struct{}, len(values))
+	min, max = values[0], values[0]
+	for _, v := range values {
+		want[v] = struct{}{}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return want, min, max
+}
+
+// float64Set is int64Set over floats. NaN values enter the map (as
+// unreachable entries, matching no row — map lookups never find NaN
+// keys, the same convention the flat filter always had) but are
+// excluded from the hull.
+func float64Set(values []float64) (want map[float64]struct{}, min, max float64) {
+	want = make(map[float64]struct{}, len(values))
+	first := true
+	for _, v := range values {
+		want[v] = struct{}{}
+		if v != v { // NaN
+			continue
+		}
+		if first {
+			min, max, first = v, v, false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if first { // all NaN: an empty hull that prunes nothing
+		min, max = 0, 0
+	}
+	return want, min, max
+}
+
+// boolWants folds a bool set constraint into its two flags.
+func boolWants(values []bool) (wantTrue, wantFalse bool) {
+	for _, v := range values {
+		if v {
+			wantTrue = true
+		} else {
+			wantFalse = true
+		}
+	}
+	return wantTrue, wantFalse
+}
+
 // The filters below all narrow a sorted selection by one typed
 // predicate. Each routes through parallelFilter: large selections
 // are scanned chunk-at-a-time on all scan workers, small ones on the
@@ -44,26 +200,14 @@ func (r FloatRange) Contains(v float64) bool {
 // FilterIntRange narrows sel to rows whose column value lies in r.
 func FilterIntRange(col IntValued, sel Selection, r IntRange) Selection {
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			if r.Contains(col.Int64(int(row))) {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanIntRange(col, part, r)
 	})
 }
 
 // FilterFloatRange narrows sel to rows whose column value lies in r.
 func FilterFloatRange(col FloatValued, sel Selection, r FloatRange) Selection {
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			if r.Contains(col.Float64(int(row))) {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanFloatRange(col, part, r)
 	})
 }
 
@@ -74,24 +218,13 @@ func FilterStringSet(col *StringColumn, sel Selection, values []string) Selectio
 	if len(values) == 0 {
 		return Selection{}
 	}
-	want := make(map[uint32]struct{}, len(values))
-	for _, v := range values {
-		if code, ok := col.CodeOf(v); ok {
-			want[code] = struct{}{}
-		}
-	}
+	want := stringCodeSet(col, values)
 	if len(want) == 0 {
 		return Selection{}
 	}
 	codes := col.Codes()
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			if _, ok := want[codes[row]]; ok {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanCodeSet(codes, part, want)
 	})
 }
 
@@ -101,18 +234,9 @@ func FilterIntSet(col IntValued, sel Selection, values []int64) Selection {
 	if len(values) == 0 {
 		return Selection{}
 	}
-	want := make(map[int64]struct{}, len(values))
-	for _, v := range values {
-		want[v] = struct{}{}
-	}
+	want, _, _ := int64Set(values)
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			if _, ok := want[col.Int64(int(row))]; ok {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanIntSet(col, part, want)
 	})
 }
 
@@ -122,18 +246,9 @@ func FilterFloatSet(col FloatValued, sel Selection, values []float64) Selection 
 	if len(values) == 0 {
 		return Selection{}
 	}
-	want := make(map[float64]struct{}, len(values))
-	for _, v := range values {
-		want[v] = struct{}{}
-	}
+	want, _, _ := float64Set(values)
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			if _, ok := want[col.Float64(int(row))]; ok {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanFloatSet(col, part, want)
 	})
 }
 
@@ -143,40 +258,15 @@ func FilterFloatSet(col FloatValued, sel Selection, values []float64) Selection 
 // them; this is the completeness path.
 func FilterStringRange(col *StringColumn, sel Selection, lo, hi string, loIncl, hiIncl bool) Selection {
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			v := col.Str(int(row))
-			if v < lo || (v == lo && !loIncl) {
-				continue
-			}
-			if v > hi || (v == hi && !hiIncl) {
-				continue
-			}
-			out = append(out, row)
-		}
-		return out
+		return scanStringRange(col, part, lo, hi, loIncl, hiIncl)
 	})
 }
 
 // FilterBoolSet narrows sel to rows whose boolean value appears in
 // values (a one- or two-element set).
 func FilterBoolSet(col *BoolColumn, sel Selection, values []bool) Selection {
-	var wantTrue, wantFalse bool
-	for _, v := range values {
-		if v {
-			wantTrue = true
-		} else {
-			wantFalse = true
-		}
-	}
+	wantTrue, wantFalse := boolWants(values)
 	return parallelFilter(sel, func(part Selection) Selection {
-		out := make(Selection, 0, len(part))
-		for _, row := range part {
-			v := col.Bool(int(row))
-			if (v && wantTrue) || (!v && wantFalse) {
-				out = append(out, row)
-			}
-		}
-		return out
+		return scanBoolSet(col, part, wantTrue, wantFalse)
 	})
 }

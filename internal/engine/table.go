@@ -1,16 +1,29 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Table is one immutable relation: a set of equal-length columns
 // with unique names. Charles restricts itself to a single relation
 // (Section 2), so the table is the whole database as far as the
 // advisor is concerned.
+//
+// Physically the table is sharded by row range into fixed-width
+// chunks (SetChunkRows): chunks are the unit of parallel scanning
+// and of zone-map skipping. The columns stay contiguous — chunking
+// is an addressing scheme over them, so row ids remain dense and
+// global.
 type Table struct {
 	name   string
 	cols   []Column
 	byName map[string]int
 	rows   int
+
+	// layout is the current chunk design (width + per-column zone
+	// maps), swapped atomically as one unit by SetChunkRows.
+	layout atomic.Pointer[tableLayout]
 }
 
 // NewTable builds a table from columns, validating that names are
@@ -33,6 +46,7 @@ func NewTable(name string, cols ...Column) (*Table, error) {
 		}
 		t.byName[c.Name()] = i
 	}
+	t.SetChunkRows(0)
 	return t, nil
 }
 

@@ -57,16 +57,19 @@ func CutQuery(ev *Evaluator, q sdl.Query, attr string, opt CutOptions) ([]sdl.Qu
 	if !ok {
 		return nil, fmt.Errorf("seg: cut on unknown column %q", attr)
 	}
-	sel, err := ev.Select(q)
+	cs, err := ev.SelectChunked(q)
 	if err != nil {
 		return nil, err
 	}
-	if len(sel) < 2 {
+	if cs.Len() < 2 {
 		return []sdl.Query{q}, nil // nothing to split
 	}
-	pointSel := sel
-	if opt.SampleSize > 0 && len(sel) > opt.SampleSize {
-		pointSel = stats.StridedInt32(sel, opt.SampleSize)
+	// Sampled cut points draw a systematic sample from the flat view;
+	// exact ones run shard-at-a-time on the chunked selection and
+	// never materialize it.
+	var pointSel engine.Selection
+	if opt.SampleSize > 0 && cs.Len() > opt.SampleSize {
+		pointSel = stats.StridedInt32(cs.Flat(), opt.SampleSize)
 	}
 	var pieces []sdl.Constraint
 	switch col := col.(type) {
@@ -76,18 +79,18 @@ func CutQuery(ev *Evaluator, q sdl.Query, attr string, opt CutOptions) ([]sdl.Qu
 		// would fall outside every piece, breaking Definition 3.
 		// Counting is a single O(n) pass, so there is nothing to
 		// save anyway — sampling targets the sort-based medians.
-		pieces, err = nominalPieces(attr, engine.StringValueCounts(col, sel), stringSetValue, opt)
+		pieces, err = nominalPieces(attr, engine.StringValueCountsChunked(col, cs), stringSetValue, opt)
 	case *engine.BoolColumn:
-		pieces, err = nominalPieces(attr, engine.BoolValueCounts(col, sel), boolSetValue, opt)
+		pieces, err = nominalPieces(attr, engine.BoolValueCountsChunked(col, cs), boolSetValue, opt)
 	case *engine.FloatColumn:
-		pieces, err = floatPieces(attr, col, sel, pointSel, opt)
+		pieces, err = floatPieces(attr, col, cs, pointSel, opt)
 		if err == nil && len(pieces) < 2 {
-			pieces = numericNominalFallback(attr, col, sel, opt)
+			pieces = numericNominalFallback(attr, col, cs.Flat(), opt)
 		}
 	case engine.IntValued:
-		pieces, err = intPieces(attr, col, sel, pointSel, opt)
+		pieces, err = intPieces(attr, col, cs, pointSel, opt)
 		if err == nil && len(pieces) < 2 {
-			pieces = numericNominalFallback(attr, col, sel, opt)
+			pieces = numericNominalFallback(attr, col, cs.Flat(), opt)
 		}
 	default:
 		return nil, fmt.Errorf("seg: cannot cut column %q of kind %v", attr, col.Kind())
@@ -136,12 +139,17 @@ func childQuery(q sdl.Query, piece sdl.Constraint) (sdl.Query, bool, error) {
 	return q.WithConstraint(merged), true, nil
 }
 
-func intPieces(attr string, col engine.IntValued, sel, pointSel engine.Selection, opt CutOptions) ([]sdl.Constraint, error) {
-	min, max, _ := engine.IntMinMax(col, sel)
+func intPieces(attr string, col engine.IntValued, cs *engine.ChunkedSelection, pointSel engine.Selection, opt CutOptions) ([]sdl.Constraint, error) {
+	min, max, _ := engine.IntMinMaxChunked(col, cs)
 	if min == max {
 		return nil, nil
 	}
-	points := engine.IntCutPoints(col, pointSel, opt.Arity)
+	var points []int64
+	if pointSel != nil {
+		points = engine.IntCutPoints(col, pointSel, opt.Arity)
+	} else {
+		points = engine.IntCutPointsChunked(col, cs, opt.Arity)
+	}
 	points = clampIntPoints(points, min, max)
 	if len(points) == 0 {
 		return nil, nil
@@ -180,12 +188,17 @@ func clampIntPoints(points []int64, min, max int64) []int64 {
 	return out
 }
 
-func floatPieces(attr string, col engine.FloatValued, sel, pointSel engine.Selection, opt CutOptions) ([]sdl.Constraint, error) {
-	min, max, _ := engine.FloatMinMax(col, sel)
+func floatPieces(attr string, col engine.FloatValued, cs *engine.ChunkedSelection, pointSel engine.Selection, opt CutOptions) ([]sdl.Constraint, error) {
+	min, max, _ := engine.FloatMinMaxChunked(col, cs)
 	if min == max {
 		return nil, nil
 	}
-	points := engine.FloatCutPoints(col, pointSel, opt.Arity)
+	var points []float64
+	if pointSel != nil {
+		points = engine.FloatCutPoints(col, pointSel, opt.Arity)
+	} else {
+		points = engine.FloatCutPointsChunked(col, cs, opt.Arity)
+	}
 	clamped := points[:0]
 	for _, p := range points {
 		if p > min && p <= max {
@@ -309,7 +322,7 @@ func Cut(ev *Evaluator, s *Segmentation, attr string, opt CutOptions) (*Segmenta
 			continue
 		}
 		anySplit = true
-		parentSel, err := ev.Select(q)
+		parentCS, err := ev.SelectChunked(q)
 		if err != nil {
 			return nil, err
 		}
@@ -318,11 +331,11 @@ func Cut(ev *Evaluator, s *Segmentation, attr string, opt CutOptions) (*Segmenta
 			if !ok {
 				return nil, fmt.Errorf("seg: cut child lost its %q constraint", attr)
 			}
-			childSel, err := ev.Narrow(parentSel, child, c)
+			childCS, err := ev.NarrowChunked(parentCS, child, c)
 			if err != nil {
 				return nil, err
 			}
-			count := len(childSel)
+			count := childCS.Len()
 			if count == 0 {
 				continue
 			}

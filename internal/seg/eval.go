@@ -38,10 +38,13 @@ type Counters struct {
 // worker count while the per-shard maps stay dense.
 const cacheShards = 32
 
-// cacheShard is one lock stripe of the selection cache.
+// cacheShard is one lock stripe of the selection cache. Selections
+// are cached in their chunked form; the flat view every chunked
+// selection lazily carries means vector consumers share the same
+// cache entries.
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string]engine.Selection
+	m  map[string]*engine.ChunkedSelection
 }
 
 // bitmapShard is one lock stripe of the packed-selection cache.
@@ -57,16 +60,25 @@ var cacheSeed = maphash.MakeSeed()
 // Evaluator binds SDL queries to a table and caches the resulting
 // selections by canonical query string, implementing the reuse
 // opportunity Section 5.1 points out ("the calculations ... can be
-// reused from one iteration to the next"). The cache is sharded
-// behind fine-grained reader/writer locks and the counters are
-// atomic, so one Evaluator safely serves many goroutines — the
-// foundation of the parallel advisor core and the multi-session
-// server.
+// reused from one iteration to the next"). Selections are evaluated
+// and cached chunk-at-a-time over the table's row-range layout:
+// every predicate narrows the per-chunk segments independently
+// across the scan worker pool, zone maps skip chunks a range cannot
+// match, and narrow (parent→child) evaluations touch only the chunks
+// where the parent selection has rows. The cache is sharded behind
+// fine-grained reader/writer locks and the counters are atomic, so
+// one Evaluator safely serves many goroutines — the foundation of
+// the parallel advisor core and the multi-session server.
 type Evaluator struct {
 	tab      *engine.Table
 	shards   [cacheShards]cacheShard
 	bmShards [cacheShards]bitmapShard
 	caching  atomic.Bool
+	// identity is the lazily built chunked all-rows selection every
+	// full evaluation starts from; building it once per evaluator
+	// keeps cold full evaluations from each allocating an
+	// |table|-sized identity vector.
+	identity atomic.Pointer[engine.ChunkedSelection]
 	// limit bounds the total cached selections (0 = unbounded).
 	// Long-lived shared evaluators — the multi-session server — set
 	// it so user-supplied contexts cannot grow memory without bound.
@@ -82,7 +94,7 @@ type Evaluator struct {
 func NewEvaluator(t *engine.Table) *Evaluator {
 	e := &Evaluator{tab: t}
 	for i := range e.shards {
-		e.shards[i].m = make(map[string]engine.Selection)
+		e.shards[i].m = make(map[string]*engine.ChunkedSelection)
 	}
 	for i := range e.bmShards {
 		e.bmShards[i].m = make(map[string]*engine.Bitmap)
@@ -93,6 +105,17 @@ func NewEvaluator(t *engine.Table) *Evaluator {
 
 // Table returns the relation the evaluator is bound to.
 func (e *Evaluator) Table() *engine.Table { return e.tab }
+
+// allRows returns the shared chunked identity selection, rebuilding
+// it when the table was re-sharded since it was built.
+func (e *Evaluator) allRows() *engine.ChunkedSelection {
+	if cs := e.identity.Load(); cs != nil && cs.ChunkRows() == e.tab.ChunkRows() {
+		return cs
+	}
+	cs := e.tab.AllChunked()
+	e.identity.Store(cs)
+	return cs
+}
 
 // SetCacheLimit bounds the number of cached selections; at the
 // limit an arbitrary entry per shard is evicted to make room.
@@ -115,7 +138,7 @@ func (e *Evaluator) SetCaching(on bool) {
 		for i := range e.shards {
 			s := &e.shards[i]
 			s.mu.Lock()
-			s.m = make(map[string]engine.Selection)
+			s.m = make(map[string]*engine.ChunkedSelection)
 			s.mu.Unlock()
 		}
 		for i := range e.bmShards {
@@ -163,7 +186,7 @@ func (e *Evaluator) shard(key string) *cacheShard {
 }
 
 // cached looks key up in its shard.
-func (e *Evaluator) cached(key string) (engine.Selection, bool) {
+func (e *Evaluator) cached(key string) (*engine.ChunkedSelection, bool) {
 	s := e.shard(key)
 	s.mu.RLock()
 	sel, ok := s.m[key]
@@ -173,14 +196,14 @@ func (e *Evaluator) cached(key string) (engine.Selection, bool) {
 
 // store records key → sel. Concurrent evaluators may compute the
 // same selection twice; the results are identical, so last write
-// wins and both callers' slices stay valid (selections are
+// wins and both callers' values stay valid (selections are
 // immutable by contract). Over the cache limit, one arbitrary entry
 // of the shard makes room — random-replacement is crude but keeps
 // the hot path lock-cheap and bounds memory. Overwriting a key that
 // is already present never evicts: the store does not grow the
 // shard, so there is nothing to make room for (evicting anyway
 // would shrink the cache by one on every re-store at the limit).
-func (e *Evaluator) store(key string, sel engine.Selection) {
+func (e *Evaluator) store(key string, sel *engine.ChunkedSelection) {
 	perShard := 0
 	if limit := e.limit.Load(); limit > 0 {
 		perShard = int((limit + cacheShards - 1) / cacheShards)
@@ -206,11 +229,12 @@ func (e *Evaluator) store(key string, sel engine.Selection) {
 // caller decides whether packing pays (the representation knob and
 // density heuristic live in the pairwise operators); this only
 // memoizes the result of that decision, so cached and uncached runs
-// take identical code paths. Bitmaps are immutable by contract,
-// like selections.
-func (e *Evaluator) packedSelection(q sdl.Query, sel engine.Selection) *engine.Bitmap {
+// take identical code paths. Bitmaps inherit the table's chunk
+// layout — chunks with no selected rows are never allocated — and
+// are immutable by contract, like selections.
+func (e *Evaluator) packedSelection(q sdl.Query, cs *engine.ChunkedSelection) *engine.Bitmap {
 	if !e.caching.Load() {
-		return engine.NewBitmap(sel, e.tab.NumRows())
+		return engine.NewBitmapChunked(cs)
 	}
 	key := q.Key()
 	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
@@ -220,7 +244,7 @@ func (e *Evaluator) packedSelection(q sdl.Query, sel engine.Selection) *engine.B
 	if ok {
 		return bm
 	}
-	bm = engine.NewBitmap(sel, e.tab.NumRows())
+	bm = engine.NewBitmapChunked(cs)
 	perShard := 0
 	if limit := e.limit.Load(); limit > 0 {
 		perShard = int((limit + cacheShards - 1) / cacheShards)
@@ -239,82 +263,122 @@ func (e *Evaluator) packedSelection(q sdl.Query, sel engine.Selection) *engine.B
 	return bm
 }
 
-// Select returns the sorted row selection R(Q). Results are cached
-// under the query's canonical key. The returned selection must not
-// be mutated.
+// Select returns the sorted row selection R(Q) as a flat vector —
+// the lazily materialized view of the chunked evaluation. The
+// returned selection must not be mutated.
 func (e *Evaluator) Select(q sdl.Query) (engine.Selection, error) {
+	cs, err := e.SelectChunked(q)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Flat(), nil
+}
+
+// SelectChunked returns R(Q) sharded by the table's row-range
+// chunks. Results are cached under the query's canonical key. The
+// returned selection must not be mutated.
+func (e *Evaluator) SelectChunked(q sdl.Query) (*engine.ChunkedSelection, error) {
 	key := q.Key()
 	// One snapshot per evaluation: a concurrent SetCaching flip
 	// cannot make lookup and store disagree within one call.
 	caching := e.caching.Load()
 	if caching {
-		if sel, ok := e.cached(key); ok {
+		if cs, ok := e.cached(key); ok {
 			e.cacheHits.Add(1)
-			return sel, nil
+			return cs, nil
 		}
 	}
-	sel := e.tab.All()
+	cs := e.allRows()
 	for _, c := range q.Constraints() {
 		if c.IsAny() {
 			continue
 		}
 		var err error
-		sel, err = e.applyConstraint(sel, c)
+		cs, err = e.applyConstraint(cs, c)
 		if err != nil {
 			return nil, err
 		}
 	}
 	e.fullEvals.Add(1)
 	if caching {
-		e.store(key, sel)
+		e.store(key, cs)
 	}
-	return sel, nil
+	return cs, nil
 }
 
 // Count returns |R(Q)|.
 func (e *Evaluator) Count(q sdl.Query) (int, error) {
-	sel, err := e.Select(q)
+	cs, err := e.SelectChunked(q)
 	if err != nil {
 		return 0, err
 	}
-	return len(sel), nil
+	return cs.Len(), nil
 }
 
 // Narrow filters a parent query's selection by one additional (or
 // refined) constraint and caches the result under the child query's
-// key. It is the incremental path CUT uses: the child's extent is a
-// subset of the parent's, so only the changed predicate needs to be
-// applied. child must equal parent.WithConstraint(c).
+// key. child must equal parent.WithConstraint(c). It is the flat
+// compatibility form of NarrowChunked.
 func (e *Evaluator) Narrow(parentSel engine.Selection, child sdl.Query, c sdl.Constraint) (engine.Selection, error) {
+	cs, err := e.NarrowChunked(engine.ChunkSelection(parentSel, e.tab.NumRows(), e.tab.ChunkRows()), child, c)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Flat(), nil
+}
+
+// NarrowChunked filters a parent query's chunked selection by one
+// additional (or refined) constraint and caches the result under the
+// child query's key. It is the incremental path CUT takes: the
+// child's extent is a subset of the parent's, so only the changed
+// predicate is applied — and only over the chunks where the parent
+// has rows, since empty parent segments are skipped outright.
+func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Query, c sdl.Constraint) (*engine.ChunkedSelection, error) {
 	key := child.Key()
 	caching := e.caching.Load()
 	if caching {
-		if sel, ok := e.cached(key); ok {
+		if cs, ok := e.cached(key); ok {
 			e.cacheHits.Add(1)
-			return sel, nil
+			return cs, nil
 		}
 	}
-	sel, err := e.applyConstraint(parentSel, c)
+	cs, err := e.applyConstraint(parentCS, c)
 	if err != nil {
 		return nil, err
 	}
 	e.narrowEvals.Add(1)
 	if caching {
-		e.store(key, sel)
+		e.store(key, cs)
 	}
-	return sel, nil
+	return cs, nil
 }
 
 // applyConstraint dispatches one predicate to the engine's typed
-// column filters.
-func (e *Evaluator) applyConstraint(sel engine.Selection, c sdl.Constraint) (engine.Selection, error) {
+// chunked column filters, handing range predicates the column's zone
+// map so provably disjoint chunks are skipped and provably covered
+// ones pass through untouched.
+func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constraint) (*engine.ChunkedSelection, error) {
 	if c.IsAny() {
-		return sel, nil
+		return cs, nil
+	}
+	// One layout snapshot per constraint: the selection's chunking
+	// and the zone map consulted for it must describe the same
+	// layout, even while another advisor concurrently re-shards the
+	// table.
+	layout := e.tab.Layout()
+	if cs.ChunkRows() != layout.ChunkRows() {
+		// The selection was built (and possibly cached) under an
+		// older layout — the table has been re-sharded since. Zone
+		// maps index the snapshot layout's chunks, so re-chunk before
+		// any verdict consults them; the flat row ids are layout-
+		// independent, making this a pure re-addressing.
+		cs = engine.ChunkSelection(cs.Flat(), e.tab.NumRows(), layout.ChunkRows())
 	}
 	col, ok := e.tab.ColumnByName(c.Attr)
 	if !ok {
 		return nil, fmt.Errorf("seg: no column %q in table %q", c.Attr, e.tab.Name())
 	}
+	sum := layout.SummaryByName(c.Attr)
 	switch col := col.(type) {
 	case *engine.StringColumn:
 		switch c.Kind {
@@ -323,9 +387,9 @@ func (e *Evaluator) applyConstraint(sel engine.Selection, c sdl.Constraint) (eng
 			for i, v := range c.Set {
 				vals[i] = v.AsString()
 			}
-			return engine.FilterStringSet(col, sel, vals), nil
+			return engine.FilterStringSetChunked(col, cs, vals), nil
 		case sdl.KindRange:
-			return engine.FilterStringRange(col, sel,
+			return engine.FilterStringRangeChunked(col, cs,
 				c.Range.Lo.AsString(), c.Range.Hi.AsString(),
 				c.Range.LoIncl, c.Range.HiIncl), nil
 		}
@@ -335,36 +399,36 @@ func (e *Evaluator) applyConstraint(sel engine.Selection, c sdl.Constraint) (eng
 			for i, v := range c.Set {
 				vals[i] = v.AsBool()
 			}
-			return engine.FilterBoolSet(col, sel, vals), nil
+			return engine.FilterBoolSetChunked(col, cs, vals), nil
 		}
 		return nil, fmt.Errorf("seg: %s: range constraint on bool column", c.Attr)
 	case *engine.FloatColumn:
 		switch c.Kind {
 		case sdl.KindRange:
-			return engine.FilterFloatRange(col, sel, engine.FloatRange{
+			return engine.FilterFloatRangeChunked(col, cs, engine.FloatRange{
 				Lo: c.Range.Lo.AsFloat(), Hi: c.Range.Hi.AsFloat(),
 				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
-			}), nil
+			}, sum), nil
 		case sdl.KindSet:
 			vals := make([]float64, len(c.Set))
 			for i, v := range c.Set {
 				vals[i] = v.AsFloat()
 			}
-			return engine.FilterFloatSet(col, sel, vals), nil
+			return engine.FilterFloatSetChunked(col, cs, vals, sum), nil
 		}
 	case engine.IntValued: // IntColumn and DateColumn
 		switch c.Kind {
 		case sdl.KindRange:
-			return engine.FilterIntRange(col, sel, engine.IntRange{
+			return engine.FilterIntRangeChunked(col, cs, engine.IntRange{
 				Lo: c.Range.Lo.AsInt(), Hi: c.Range.Hi.AsInt(),
 				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
-			}), nil
+			}, sum), nil
 		case sdl.KindSet:
 			vals := make([]int64, len(c.Set))
 			for i, v := range c.Set {
 				vals[i] = v.AsInt()
 			}
-			return engine.FilterIntSet(col, sel, vals), nil
+			return engine.FilterIntSetChunked(col, cs, vals, sum), nil
 		}
 	}
 	return nil, fmt.Errorf("seg: %s: unsupported %v constraint on %v column", c.Attr, c.Kind, col.Kind())

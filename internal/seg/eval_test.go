@@ -200,7 +200,7 @@ func TestCacheLimitBoundsEntries(t *testing.T) {
 // one on every re-store at the limit.
 func TestStoreAtLimitKeepsExistingKey(t *testing.T) {
 	tab, ev := figure2Table(t)
-	sel := tab.All()
+	sel := tab.AllChunked()
 	// perShard = ceil(limit/shards) = 2.
 	ev.SetCacheLimit(2 * cacheShards)
 	// Find two keys that land in the same shard, then fill it.
@@ -251,7 +251,7 @@ func TestStoreAtLimitKeepsExistingKey(t *testing.T) {
 func TestPackedSelectionMemoized(t *testing.T) {
 	tab, ev := figure2Table(t)
 	q := sdl.MustQuery(sdl.SetC("type", engine.String_("fluit")))
-	sel, err := ev.Select(q)
+	sel, err := ev.SelectChunked(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,8 +260,8 @@ func TestPackedSelectionMemoized(t *testing.T) {
 	if a != b {
 		t.Fatal("caching on: repeated pack returned a fresh bitmap")
 	}
-	if a.Count() != len(sel) || a.NumRows() != tab.NumRows() {
-		t.Fatalf("packed bitmap shape %d/%d, want %d/%d", a.Count(), a.NumRows(), len(sel), tab.NumRows())
+	if a.Count() != sel.Len() || a.NumRows() != tab.NumRows() {
+		t.Fatalf("packed bitmap shape %d/%d, want %d/%d", a.Count(), a.NumRows(), sel.Len(), tab.NumRows())
 	}
 	ev.SetCaching(false)
 	c := ev.packedSelection(q, sel)

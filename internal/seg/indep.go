@@ -2,6 +2,7 @@ package seg
 
 import (
 	"fmt"
+	"sync"
 
 	"charles/internal/engine"
 	"charles/internal/par"
@@ -47,9 +48,10 @@ func (r SelectionRep) String() string {
 }
 
 // PairOptions parameterizes the pairwise segmentation operators.
-// The zero value — all CPUs, automatic representation — is the
-// right default for direct callers; the advisor core threads
-// Config.Workers and Config.Selection through instead.
+// The zero value — all CPUs, automatic representation, no memo — is
+// the right default for direct callers; the advisor core threads
+// Config.Workers, Config.Selection and a per-advise memo through
+// instead.
 type PairOptions struct {
 	// Workers bounds the fan-out of the cell loop and the per-query
 	// selection gather. Values below 1 mean one worker per available
@@ -57,6 +59,14 @@ type PairOptions struct {
 	Workers int
 	// Rep selects the selection representation.
 	Rep SelectionRep
+	// Memo, when non-nil, caches built pair sides — one segmentation's
+	// gathered selections plus their packed bitmaps — across operator
+	// calls. HB-cuts evaluates every candidate against O(n) partners
+	// per step, and without the memo each Product/CellCounts/Indep/
+	// ChiSquare call rebuilds the same sides; the advisor core shares
+	// one memo per advise so each segmentation is assembled exactly
+	// once per query.
+	Memo *PairMemo
 }
 
 func (o PairOptions) normalize() PairOptions {
@@ -64,51 +74,100 @@ func (o PairOptions) normalize() PairOptions {
 	return o
 }
 
-// pairSide holds one segmentation's selections, each in the
-// representation the options chose for it: bms[i] is non-nil when
-// segment i is bitmap-packed, sels[i] is always present.
+// PairMemo caches built pair sides by segmentation key within one
+// advise. It is safe for concurrent use: the pair evaluations of one
+// HB-cuts step fan out across workers and may request the same
+// segmentation at once — both build, one wins, and the identical
+// immutable results make either correct.
+type PairMemo struct {
+	mu sync.RWMutex
+	m  map[string]*pairSide
+}
+
+// NewPairMemo returns an empty pair-side memo for one advise run.
+func NewPairMemo() *PairMemo {
+	return &PairMemo{m: make(map[string]*pairSide)}
+}
+
+func (m *PairMemo) get(key string) (*pairSide, bool) {
+	m.mu.RLock()
+	s, ok := m.m[key]
+	m.mu.RUnlock()
+	return s, ok
+}
+
+func (m *PairMemo) put(key string, s *pairSide) {
+	m.mu.Lock()
+	m.m[key] = s
+	m.mu.Unlock()
+}
+
+// pairSide holds one segmentation's selections, each in exactly the
+// representation the options chose for it: segment i is either
+// bitmap-packed (bms[i] non-nil) or a flat row-id vector (sels[i]
+// non-nil), never materialized as both.
 type pairSide struct {
 	sels []engine.Selection
 	bms  []*engine.Bitmap
 }
 
 // buildSide gathers a segmentation's selections across the worker
-// pool and packs the chosen ones into bitmaps, once per operator
-// call; the cell loop then reuses them |other| times each.
-func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (pairSide, error) {
-	sels := make([]engine.Selection, len(s.Queries))
+// pool and packs the chosen ones into bitmaps; the cell loop then
+// reuses them |other| times each. With a memo in the options the
+// assembled side is shared across every operator call of the advise
+// that mentions the same segmentation.
+func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, error) {
+	var memoKey string
+	if opt.Memo != nil {
+		// The representation knob changes which segments get packed,
+		// so sides built under different reps never alias.
+		memoKey = opt.Rep.String() + "\x00" + s.Key()
+		if side, ok := opt.Memo.get(memoKey); ok {
+			return side, nil
+		}
+	}
+	css := make([]*engine.ChunkedSelection, len(s.Queries))
 	err := par.ForEach(opt.Workers, len(s.Queries), func(i int) error {
-		sel, err := ev.Select(s.Queries[i])
+		cs, err := ev.SelectChunked(s.Queries[i])
 		if err != nil {
 			return err
 		}
-		sels[i] = sel
+		css[i] = cs
 		return nil
 	})
 	if err != nil {
-		return pairSide{}, err
+		return nil, err
 	}
-	bms := make([]*engine.Bitmap, len(sels))
-	if opt.Rep != RepVector {
-		nRows := ev.Table().NumRows()
-		// Packing is a linear pass per segment — memoized per query in
-		// the evaluator, since HB-cuts evaluates each candidate against
-		// O(n) partners per step. Errors are impossible, so ForEach is
-		// used purely for the fan-out.
-		_ = par.ForEach(opt.Workers, len(sels), func(i int) error {
-			if opt.Rep == RepBitmap || engine.DenseEnough(len(sels[i]), nRows) {
-				bms[i] = ev.packedSelection(s.Queries[i], sels[i])
-			}
-			return nil
-		})
+	sels := make([]engine.Selection, len(css))
+	bms := make([]*engine.Bitmap, len(css))
+	nRows := ev.Table().NumRows()
+	// Packing is a linear pass per segment — memoized per query in
+	// the evaluator, since HB-cuts evaluates each candidate against
+	// O(n) partners per step. The flat row-id view only materializes
+	// for segments that stay vectors: the cell loop never reads the
+	// vector side of a bitmap-packed segment, so flattening it would
+	// be a pure O(|sel|) copy wasted. Errors are impossible, so
+	// ForEach is used purely for the fan-out.
+	_ = par.ForEach(opt.Workers, len(css), func(i int) error {
+		if opt.Rep == RepBitmap ||
+			(opt.Rep != RepVector && engine.DenseEnough(css[i].Len(), nRows)) {
+			bms[i] = ev.packedSelection(s.Queries[i], css[i])
+		} else {
+			sels[i] = css[i].Flat()
+		}
+		return nil
+	})
+	side := &pairSide{sels: sels, bms: bms}
+	if opt.Memo != nil {
+		opt.Memo.put(memoKey, side)
 	}
-	return pairSide{sels: sels, bms: bms}, nil
+	return side, nil
 }
 
 // cellCount returns |R(Q1i) ∩ R(Q2j)| using the fastest path the
 // chosen representations allow. All three paths return identical
 // counts, so the representation knob never changes advisor output.
-func cellCount(a pairSide, i int, b pairSide, j int) int {
+func cellCount(a *pairSide, i int, b *pairSide, j int) int {
 	switch {
 	case a.bms[i] != nil && b.bms[j] != nil:
 		return a.bms[i].AndCount(b.bms[j])
