@@ -1,0 +1,211 @@
+// Tests for the cancellable, progress-reporting advise path
+// (AdviseCtx): it must return byte-identical ranked output to
+// Advise, stream deterministic progress, and — when cancelled — stop
+// mid-advise, release its workers and go quiet. Run with -race.
+package charles_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"charles"
+)
+
+// progressRecorder collects the report stream. ProgressFunc calls
+// are serialized by the advisor, so plain appends are race-free.
+type progressRecorder struct {
+	reports []charles.Progress
+	n       atomic.Int64
+	cancel  context.CancelFunc // when set, fires after cancelAt reports
+	calls   int
+	atCall  int
+}
+
+func (p *progressRecorder) record(pr charles.Progress) {
+	p.reports = append(p.reports, pr)
+	p.n.Add(1)
+	p.calls++
+	if p.cancel != nil && p.calls == p.atCall {
+		p.cancel()
+	}
+}
+
+func (p *progressRecorder) sequence() string {
+	out := ""
+	for _, r := range p.reports {
+		out += fmt.Sprintf("%s %d/%d\n", r.Phase, r.Done, r.Total)
+	}
+	return out
+}
+
+// TestAdviseCtxMatchesAdvise pins the acceptance property: the async
+// entry point returns byte-identical ranked results to the sync one
+// at every worker count, and the progress stream is well-formed —
+// every initial cut reported with the known total, pairs monotone.
+func TestAdviseCtxMatchesAdvise(t *testing.T) {
+	advRef, ctxRef := concurrencyFixture(t, 1)
+	ref, err := advRef.Advise(ctxRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rankedFingerprint(ref)
+	attrs := len(ctxRef.Attrs())
+	for _, workers := range []int{1, 4} {
+		adv, ctx := concurrencyFixture(t, workers)
+		rec := &progressRecorder{}
+		res, err := adv.AdviseCtx(context.Background(), ctx, rec.record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rankedFingerprint(res); got != want {
+			t.Fatalf("Workers=%d AdviseCtx ranked output differs from Advise:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+		cuts, pairs := 0, 0
+		lastDone := map[string]int{}
+		for _, r := range rec.reports {
+			if r.Done != lastDone[r.Phase]+1 {
+				t.Fatalf("Workers=%d phase %s jumped from %d to %d: not monotone",
+					workers, r.Phase, lastDone[r.Phase], r.Done)
+			}
+			lastDone[r.Phase] = r.Done
+			switch r.Phase {
+			case charles.PhaseCuts:
+				cuts++
+				if r.Total != attrs {
+					t.Fatalf("cuts total = %d, want %d", r.Total, attrs)
+				}
+			case charles.PhasePairs:
+				pairs++
+			}
+		}
+		if cuts != attrs {
+			t.Fatalf("Workers=%d reported %d cut completions, want %d", workers, cuts, attrs)
+		}
+		if pairs != res.IndepEvals {
+			t.Fatalf("Workers=%d reported %d pair completions, want IndepEvals=%d", workers, pairs, res.IndepEvals)
+		}
+	}
+}
+
+// TestProgressStreamDeterministic pins the tentpole's determinism
+// claim: the full (phase, done, total) report sequence is identical
+// at every worker count, because tallies are serialized and
+// monotone no matter which goroutine finishes first.
+func TestProgressStreamDeterministic(t *testing.T) {
+	var want string
+	for i, workers := range []int{1, 2, 8} {
+		adv, ctx := concurrencyFixture(t, workers)
+		rec := &progressRecorder{}
+		if _, err := adv.AdviseCtx(context.Background(), ctx, rec.record); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = rec.sequence()
+			if want == "" {
+				t.Fatal("no progress reported, test is vacuous")
+			}
+			continue
+		}
+		if got := rec.sequence(); got != want {
+			t.Fatalf("Workers=%d progress stream differs from Workers=1:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestAdviseCtxCancelMidway pins cancellation end to end: cancelling
+// from inside a progress callback stops the advise (it returns
+// context.Canceled, not a result), and after it returns the progress
+// stream stays silent — every par worker has been released, so
+// nothing is left running to report.
+func TestAdviseCtxCancelMidway(t *testing.T) {
+	tab := charles.GenerateVOC(20000, 1)
+	cfg := charles.DefaultConfig()
+	cfg.Workers = 4
+	adv := charles.NewAdvisor(tab, cfg)
+	ctx, err := charles.ContextOn(tab, "type_of_boat", "tonnage", "built", "departure_harbour", "trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &progressRecorder{cancel: cancel, atCall: 2}
+	res, err := adv.AdviseCtx(cctx, ctx, rec.record)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled advise returned a result")
+	}
+	// Progress must stall: with every worker released before
+	// AdviseCtx returned, no goroutine is left to report.
+	at := rec.n.Load()
+	time.Sleep(50 * time.Millisecond)
+	if after := rec.n.Load(); after != at {
+		t.Fatalf("progress kept streaming after cancelled advise returned (%d → %d reports): workers not released", at, after)
+	}
+}
+
+// TestAdviseCtxPreCancelled: a context cancelled before submission
+// never starts the advise.
+func TestAdviseCtxPreCancelled(t *testing.T) {
+	adv, ctx := concurrencyFixture(t, 4)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := &progressRecorder{}
+	if _, err := adv.AdviseCtx(cctx, ctx, rec.record); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rec.n.Load() != 0 {
+		t.Fatalf("pre-cancelled advise reported %d progress updates", rec.n.Load())
+	}
+}
+
+// TestAdaptiveCtxMatchesAdaptive extends the equivalence to the
+// adaptive-cuts extension and its PhaseTrials stream.
+func TestAdaptiveCtxMatchesAdaptive(t *testing.T) {
+	adv, ctx := concurrencyFixture(t, 1)
+	ref, err := adv.Adaptive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		adv2, ctx2 := concurrencyFixture(t, workers)
+		rec := &progressRecorder{}
+		got, err := adv2.AdaptiveCtx(context.Background(), ctx2, rec.record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("Workers=%d adaptive returned %d segmentations, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].Seg.Key() != ref[i].Seg.Key() || got[i].Score != ref[i].Score {
+				t.Fatalf("Workers=%d adaptive rank %d differs", workers, i)
+			}
+		}
+		trials := 0
+		for _, r := range rec.reports {
+			if r.Phase == charles.PhaseTrials {
+				trials++
+			}
+		}
+		if trials == 0 {
+			t.Fatal("no trial progress reported")
+		}
+	}
+}
+
+// TestAdaptiveCtxCancel: the greedy loop honors cancellation too.
+func TestAdaptiveCtxCancel(t *testing.T) {
+	adv, ctx := concurrencyFixture(t, 4)
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &progressRecorder{cancel: cancel, atCall: 1}
+	if _, err := adv.AdaptiveCtx(cctx, ctx, rec.record); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,234 @@
+// The async-API load mode: hammer a running charles-server's job
+// queue (POST /advise + poll GET /jobs/{id}) from many concurrent
+// clients and report throughput, latency, and how much work the
+// coalescing and the result cache absorbed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// asyncOptions parameterizes one load run.
+type asyncOptions struct {
+	// URL is the base address of a running charles-server.
+	URL string
+	// Jobs is the total number of submissions.
+	Jobs int
+	// Concurrency is the number of concurrent clients.
+	Concurrency int
+	// Contexts are the SDL contexts to submit, cycled per job; empty
+	// means one whole-table context ("") for every job — the
+	// worst-case thundering herd the coalescing exists for.
+	Contexts []string
+	// PollEvery is the poll interval for pending jobs.
+	PollEvery time.Duration
+}
+
+// asyncJob mirrors the server's job JSON.
+type asyncJob struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+// asyncStats aggregates one run.
+type asyncStats struct {
+	completed atomic.Int64
+	cached    atomic.Int64
+	rejected  atomic.Int64
+	failed    atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func (s *asyncStats) record(d time.Duration) {
+	s.mu.Lock()
+	s.latencies = append(s.latencies, d)
+	s.mu.Unlock()
+}
+
+// runAsync drives the load and writes a report to w.
+func runAsync(w io.Writer, opt asyncOptions) error {
+	if opt.Jobs <= 0 {
+		opt.Jobs = 64
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	if opt.PollEvery <= 0 {
+		opt.PollEvery = 25 * time.Millisecond
+	}
+	if len(opt.Contexts) == 0 {
+		opt.Contexts = []string{""}
+	}
+	base := strings.TrimRight(opt.URL, "/")
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Probe the server before unleashing the herd.
+	if _, err := fetchHealthz(client, base); err != nil {
+		return fmt.Errorf("async: server not reachable: %w", err)
+	}
+
+	var st asyncStats
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(opt.Concurrency)
+	for c := 0; c < opt.Concurrency; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Jobs {
+					return
+				}
+				sdl := opt.Contexts[i%len(opt.Contexts)]
+				if err := st.submitAndWait(client, base, sdl, opt.PollEvery); err != nil {
+					st.failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	health, err := fetchHealthz(client, base)
+	if err != nil {
+		return err
+	}
+	return st.report(w, opt, wall, health)
+}
+
+// submitAndWait runs one client job: submit, then poll to a terminal
+// state. Queue-full answers back off and retry — that is the
+// protocol the 503 + Retry-After asks for.
+func (st *asyncStats) submitAndWait(client *http.Client, base, sdl string, poll time.Duration) error {
+	t0 := time.Now()
+	var job asyncJob
+	for {
+		form := url.Values{"context": {sdl}}
+		resp, err := client.Post(base+"/advise", "application/x-www-form-urlencoded",
+			bytes.NewBufferString(form.Encode()))
+		if err != nil {
+			return err
+		}
+		err = decodeJSON(resp, &job)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			st.rejected.Add(1)
+			time.Sleep(poll)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("async: submit: %s (%s)", resp.Status, job.Error)
+		}
+		break
+	}
+	if job.Cached {
+		st.cached.Add(1)
+		st.completed.Add(1)
+		st.record(time.Since(t0))
+		return nil
+	}
+	for !terminalState(job.State) {
+		time.Sleep(poll)
+		resp, err := client.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		if err := decodeJSON(resp, &job); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("async: poll %s: %s (%s)", job.ID, resp.Status, job.Error)
+		}
+	}
+	if job.State != "done" {
+		return fmt.Errorf("async: job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	st.completed.Add(1)
+	st.record(time.Since(t0))
+	return nil
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// healthz is the subset of /healthz the report reads.
+type healthz struct {
+	Advises       int64 `json:"advises"`
+	JobsSubmitted int   `json:"jobs_submitted"`
+	JobsCoalesced int   `json:"jobs_coalesced"`
+	ResultCache   struct {
+		Hits   int `json:"hits"`
+		Misses int `json:"misses"`
+	} `json:"result_cache"`
+}
+
+func fetchHealthz(client *http.Client, base string) (healthz, error) {
+	var h healthz
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	if err := decodeJSON(resp, &h); err != nil {
+		return h, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return h, nil
+}
+
+// report prints the E18-style async throughput table.
+func (st *asyncStats) report(w io.Writer, opt asyncOptions, wall time.Duration, h healthz) error {
+	lat := st.latencies
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	mean, p95 := time.Duration(0), time.Duration(0)
+	if n := len(lat); n > 0 {
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		mean = sum / time.Duration(n)
+		p95 = lat[int(math.Ceil(0.95*float64(n)))-1]
+	}
+	fmt.Fprintf(w, "## Async advise API load (%d jobs, %d clients, %d distinct contexts)\n\n",
+		opt.Jobs, opt.Concurrency, len(opt.Contexts))
+	fmt.Fprintf(w, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(w, "| wall time | %v |\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "| completed | %d |\n", st.completed.Load())
+	fmt.Fprintf(w, "| throughput | %.1f jobs/s |\n", float64(st.completed.Load())/wall.Seconds())
+	fmt.Fprintf(w, "| latency mean / p95 | %v / %v |\n", mean.Round(time.Millisecond), p95.Round(time.Millisecond))
+	fmt.Fprintf(w, "| served from result cache | %d |\n", st.cached.Load())
+	fmt.Fprintf(w, "| queue-full rejections (retried) | %d |\n", st.rejected.Load())
+	fmt.Fprintf(w, "| failed | %d |\n", st.failed.Load())
+	fmt.Fprintf(w, "| server advises run (total) | %d |\n", h.Advises)
+	fmt.Fprintf(w, "| server jobs submitted / coalesced | %d / %d |\n", h.JobsSubmitted, h.JobsCoalesced)
+	fmt.Fprintf(w, "| server cache hits / misses | %d / %d |\n", h.ResultCache.Hits, h.ResultCache.Misses)
+	if st.failed.Load() > 0 {
+		return fmt.Errorf("async: %d jobs failed", st.failed.Load())
+	}
+	return nil
+}

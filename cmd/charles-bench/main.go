@@ -8,6 +8,13 @@
 //	charles-bench                      # run everything at full scale
 //	charles-bench -experiment E7       # one experiment
 //	charles-bench -scale 0.1           # quick pass
+//
+// With -async-url it instead hammers a running charles-server's
+// async advise API (POST /advise + poll) and reports throughput:
+//
+//	charles-bench -async-url http://localhost:8080 \
+//	    -async-jobs 200 -async-concurrency 16 \
+//	    -async-contexts '(tonnage:); (type_of_boat:, tonnage:)'
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"charles/internal/harness"
 )
@@ -25,10 +33,35 @@ func main() {
 		scale      = flag.Float64("scale", 1, "row-count scale factor")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		asyncURL   = flag.String("async-url", "", "base URL of a running charles-server; switches to async-API load mode")
+		asyncJobs  = flag.Int("async-jobs", 64, "async mode: total submissions")
+		asyncConc  = flag.Int("async-concurrency", 8, "async mode: concurrent clients")
+		asyncCtxs  = flag.String("async-contexts", "", "async mode: semicolon-separated SDL contexts to cycle (SDL itself uses commas; empty = whole-table context)")
+		asyncPoll  = flag.Duration("async-poll", 25*time.Millisecond, "async mode: poll interval")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
+		return
+	}
+	if *asyncURL != "" {
+		var contexts []string
+		if *asyncCtxs != "" {
+			for _, c := range strings.Split(*asyncCtxs, ";") {
+				contexts = append(contexts, strings.TrimSpace(c))
+			}
+		}
+		err := runAsync(os.Stdout, asyncOptions{
+			URL:         *asyncURL,
+			Jobs:        *asyncJobs,
+			Concurrency: *asyncConc,
+			Contexts:    contexts,
+			PollEvery:   *asyncPoll,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charles-bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	opt := harness.Options{Scale: *scale, Seed: *seed}

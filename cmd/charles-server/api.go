@@ -1,0 +1,335 @@
+// The async advise API: long advises run as queued jobs with
+// progress and cancellation instead of holding an HTTP request (and
+// its goroutine) open for the whole computation.
+//
+//	POST   /advise?context=…   submit; 200 + result on a cache hit,
+//	                           202 + job id otherwise, 503 when the
+//	                           queue is full
+//	GET    /jobs/{id}          state + progress (+ result when done)
+//	DELETE /jobs/{id}          cancel (queued or mid-advise)
+//	GET    /jobs               list every retained job
+//	GET    /healthz            queue, worker, session, cache gauges
+//
+// Identical submissions — same canonical context and config
+// fingerprint — coalesce onto one job, and completed results land in
+// the same cross-session LRU the web UI reads, so the two front ends
+// share every advise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"charles"
+	"charles/internal/jobs"
+)
+
+// jsonSegment is one segment of a rendered segmentation: the SDL
+// query, its SQL drill-down, and its extent size.
+type jsonSegment struct {
+	SDL   string `json:"sdl"`
+	SQL   string `json:"sql"`
+	Count int    `json:"count"`
+}
+
+// jsonSegmentation is one ranked answer.
+type jsonSegmentation struct {
+	Rank       int           `json:"rank"`
+	Score      float64       `json:"score"`
+	Entropy    float64       `json:"entropy"`
+	Balance    float64       `json:"balance"`
+	Breadth    int           `json:"breadth"`
+	Simplicity int           `json:"simplicity"`
+	CutAttrs   []string      `json:"cut_attrs"`
+	Segments   []jsonSegment `json:"segments"`
+}
+
+// jsonResult is the API rendering of a ranked advise result.
+type jsonResult struct {
+	Context       string             `json:"context"`
+	Segmentations []jsonSegmentation `json:"segmentations"`
+	SkippedAttrs  []string           `json:"skipped_attrs,omitempty"`
+	Iterations    int                `json:"iterations"`
+	IndepEvals    int                `json:"indep_evals"`
+	StopReason    string             `json:"stop_reason"`
+}
+
+// jsonJob is the API rendering of a job snapshot. Result appears
+// only on done jobs (and only where the endpoint includes it).
+type jsonJob struct {
+	ID       string            `json:"id"`
+	State    string            `json:"state"`
+	Cached   bool              `json:"cached,omitempty"`
+	Progress *charles.Progress `json:"progress,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Created  string            `json:"created,omitempty"`
+	Started  string            `json:"started,omitempty"`
+	Finished string            `json:"finished,omitempty"`
+	Result   *jsonResult       `json:"result,omitempty"`
+}
+
+// renderResult converts a ranked result for JSON transport. The
+// ordering and every number comes straight from the result, so the
+// async rendering is byte-identical to rendering the sync path's
+// result for the same context.
+func (sv *server) renderResult(res *charles.Result) *jsonResult {
+	out := &jsonResult{
+		Context:      res.Context.String(),
+		SkippedAttrs: res.SkippedAttrs,
+		Iterations:   res.Iterations,
+		IndepEvals:   res.IndepEvals,
+		StopReason:   res.StopReason.String(),
+	}
+	table := sv.adv.Table().Name()
+	for rank, sc := range res.Segmentations {
+		js := jsonSegmentation{
+			Rank:       rank + 1,
+			Score:      sc.Score,
+			Entropy:    sc.Metrics.Entropy,
+			Balance:    sc.Metrics.Balance,
+			Breadth:    sc.Metrics.Breadth,
+			Simplicity: sc.Metrics.Simplicity,
+			CutAttrs:   sc.Seg.CutAttrs,
+		}
+		for i, q := range sc.Seg.Queries {
+			js.Segments = append(js.Segments, jsonSegment{
+				SDL:   q.String(),
+				SQL:   charles.SQLSelect(q, table),
+				Count: sc.Seg.Counts[i],
+			})
+		}
+		out.Segmentations = append(out.Segmentations, js)
+	}
+	return out
+}
+
+// renderJob converts a job snapshot for JSON transport.
+func (sv *server) renderJob(snap jobs.Snapshot, includeResult bool) jsonJob {
+	jj := jsonJob{
+		ID:      snap.ID,
+		State:   snap.State.String(),
+		Created: rfc3339(snap.Created),
+		Started: rfc3339(snap.Started),
+	}
+	if snap.State.Terminal() {
+		jj.Finished = rfc3339(snap.Finished)
+	}
+	if snap.Progress.Phase != "" {
+		p := snap.Progress
+		jj.Progress = &p
+	}
+	if snap.Err != nil {
+		jj.Error = snap.Err.Error()
+	}
+	if includeResult && snap.State == jobs.StateDone && snap.Result != nil {
+		jj.Result = sv.renderResult(snap.Result)
+	}
+	return jj
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("charles-server: encode: %v", err)
+	}
+}
+
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// adviseContext extracts the SDL context from a POST /advise
+// request: a JSON body {"context": "…"} or the context form/query
+// parameter.
+func adviseContext(r *http.Request) (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var body struct {
+			Context string `json:"context"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return "", errors.New("bad JSON body: " + err.Error())
+		}
+		return body.Context, nil
+	}
+	return r.FormValue("context"), nil
+}
+
+// handleAdvise submits an advise job. A result-cache hit answers
+// immediately (200, cached: true); a coalesced or fresh submission
+// answers 202 with the job to poll — unless the hit job already
+// finished, which answers 200 with the result inline. A full queue
+// answers 503: the client should back off, not the server buffer
+// without bound.
+func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	qs, err := adviseContext(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := sv.adv.ParseContext(qs)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := sv.cacheKey(q)
+	if sv.results != nil {
+		if res, ok := sv.results.get(key); ok {
+			writeJSON(w, http.StatusOK, jsonJob{
+				State:  jobs.StateDone.String(),
+				Cached: true,
+				Result: sv.renderResult(res),
+			})
+			return
+		}
+	}
+	run := func(ctx context.Context, progress charles.ProgressFunc) (*charles.Result, error) {
+		res, err := sv.runAdvise(ctx, q, progress)
+		if err == nil && sv.results != nil {
+			// Job results feed the same LRU the web UI reads; a
+			// failed advise is never stored (it has no result to
+			// serve later).
+			sv.results.put(key, res)
+		}
+		return res, err
+	}
+	j, err := sv.jobs.Submit(key, run)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "queue full")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		jsonError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	snap := j.Snapshot()
+	status := http.StatusAccepted
+	if snap.State == jobs.StateDone {
+		status = http.StatusOK // TTL'd hot hit: the job already ran
+	}
+	writeJSON(w, status, sv.renderJob(snap, true))
+}
+
+// handleJob serves one job: GET polls it, DELETE cancels it.
+func (sv *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		snap, err := sv.jobs.Get(id)
+		if err != nil {
+			jsonError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, sv.renderJob(snap, true))
+	case http.MethodDelete:
+		if err := sv.jobs.Cancel(id); err != nil {
+			jsonError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		snap, err := sv.jobs.Get(id)
+		if err != nil {
+			jsonError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, sv.renderJob(snap, false))
+	default:
+		w.Header().Set("Allow", "GET, HEAD, DELETE")
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
+}
+
+// handleJobs lists every retained job, oldest first, without result
+// payloads.
+func (sv *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	snaps := sv.jobs.List()
+	out := make([]jsonJob, len(snaps))
+	for i, snap := range snaps {
+		out[i] = sv.renderJob(snap, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// healthzPayload is the /healthz body: queue and worker gauges, job
+// counters, session count, and the result cache's size and hit/miss
+// tallies.
+type healthzPayload struct {
+	Status        string           `json:"status"`
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCap      int              `json:"queue_cap"`
+	RunningJobs   int              `json:"running_jobs"`
+	JobWorkers    int              `json:"job_workers"`
+	JobsRetained  int              `json:"jobs_retained"`
+	JobsSubmitted int              `json:"jobs_submitted"`
+	JobsCoalesced int              `json:"jobs_coalesced"`
+	Sessions      int              `json:"sessions"`
+	Advises       int64            `json:"advises"`
+	ResultCache   resultCacheStats `json:"result_cache"`
+}
+
+type resultCacheStats struct {
+	Enabled bool `json:"enabled"`
+	Size    int  `json:"size"`
+	Hits    int  `json:"hits"`
+	Misses  int  `json:"misses"`
+}
+
+// handleHealthz reports liveness plus the gauges an operator (or a
+// load balancer) watches: queue saturation, running advises, cache
+// effectiveness.
+func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	st := sv.jobs.Stats()
+	sv.mu.Lock()
+	sessions := len(sv.sessions)
+	sv.mu.Unlock()
+	size, hits, misses := sv.results.stats()
+	writeJSON(w, http.StatusOK, healthzPayload{
+		Status:        "ok",
+		QueueDepth:    st.Queued,
+		QueueCap:      st.QueueCap,
+		RunningJobs:   st.Running,
+		JobWorkers:    st.Workers,
+		JobsRetained:  st.Retained,
+		JobsSubmitted: st.Submitted,
+		JobsCoalesced: st.Coalesced,
+		Sessions:      sessions,
+		Advises:       sv.advises.Load(),
+		ResultCache: resultCacheStats{
+			Enabled: sv.results != nil,
+			Size:    size,
+			Hits:    hits,
+			Misses:  misses,
+		},
+	})
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"container/list"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"flag"
@@ -26,12 +27,16 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"charles"
+	"charles/internal/jobs"
 	"charles/internal/ui"
 )
 
@@ -58,15 +63,18 @@ const resultCacheCap = 256
 // resultCache is a bounded LRU of advise results shared by every
 // session. Results are immutable once computed, so cache hits hand
 // out the same *charles.Result to concurrent sessions. Concurrent
-// misses on one key may both advise; the results are identical and
-// the last store wins — cheaper than single-flight plumbing for a
-// cache whose misses are already the slow path.
+// misses on one key single-flight through the jobs layer's
+// coalescing Group (sv.flight), so they cost one advise, not N.
+// Only successful advises are ever stored: a failed advise has no
+// result, and caching its absence would be indistinguishable from a
+// legitimate empty result on the read path.
 type resultCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently used
-	m    map[string]*list.Element
-	hits int
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	m      map[string]*list.Element
+	hits   int
+	misses int
 }
 
 type resultEntry struct {
@@ -84,6 +92,7 @@ func (rc *resultCache) get(key string) (*charles.Result, bool) {
 	defer rc.mu.Unlock()
 	el, ok := rc.m[key]
 	if !ok {
+		rc.misses++
 		return nil, false
 	}
 	rc.ll.MoveToFront(el)
@@ -92,8 +101,13 @@ func (rc *resultCache) get(key string) (*charles.Result, bool) {
 }
 
 // put stores key → res, evicting the least recently used entry over
-// the cap.
+// the cap. A nil result is refused: only a successful advise may
+// populate the cache (failures carry no result, and a cached nil
+// would later read as a hit with nothing to serve).
 func (rc *resultCache) put(key string, res *charles.Result) {
+	if res == nil {
+		return
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if el, ok := rc.m[key]; ok {
@@ -107,6 +121,30 @@ func (rc *resultCache) put(key string, res *charles.Result) {
 		rc.ll.Remove(oldest)
 		delete(rc.m, oldest.Value.(*resultEntry).key)
 	}
+}
+
+// peek is get without the hit/miss accounting: the single-flight's
+// in-flight double check would otherwise count every cold advise
+// twice.
+func (rc *resultCache) peek(key string) (*charles.Result, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.m[key]
+	if !ok {
+		return nil, false
+	}
+	rc.ll.MoveToFront(el)
+	return el.Value.(*resultEntry).res, true
+}
+
+// stats returns size and hit/miss counters for /healthz.
+func (rc *resultCache) stats() (size, hits, misses int) {
+	if rc == nil {
+		return 0, 0, 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.ll.Len(), rc.hits, rc.misses
 }
 
 // configFingerprint canonicalizes the knobs that shape advise
@@ -136,24 +174,37 @@ type session struct {
 }
 
 // server is the multi-session advisory service: one shared advisor
-// over the read-only table, per-user sessions, and a cross-session
-// result cache so identical explorations cost one advise.
+// over the read-only table, per-user sessions, a cross-session
+// result cache so identical explorations cost one advise, and an
+// async job queue so long advises can be submitted, watched and
+// cancelled instead of holding a request open.
 type server struct {
 	adv        *charles.Advisor
 	initialCtx charles.Query
 	results    *resultCache
 	cfgFP      string
+	jobs       *jobs.Manager
+	// flight single-flights the synchronous advise path: concurrent
+	// cache misses on one (context, config) key run one advise and
+	// share its result — the same coalescing the job queue applies
+	// to submissions, via the same jobs-layer helper.
+	flight jobs.Group
+	// advises counts advise executions that actually ran HB-cuts —
+	// the denominator the cache and single-flight savings are
+	// measured against.
+	advises atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
-func newServer(adv *charles.Advisor, initialCtx charles.Query) *server {
+func newServer(adv *charles.Advisor, initialCtx charles.Query, jopt jobs.Options) *server {
 	adv.Evaluator().SetCacheLimit(evaluatorCacheLimit)
 	sv := &server{
 		adv:        adv,
 		initialCtx: initialCtx,
 		cfgFP:      configFingerprint(adv.Config()),
+		jobs:       jobs.NewManager(jopt),
 		sessions:   make(map[string]*session),
 	}
 	// A custom ScoreFunc reorders results but cannot be
@@ -166,34 +217,75 @@ func newServer(adv *charles.Advisor, initialCtx charles.Query) *server {
 	return sv
 }
 
+// cacheKey is the (canonical context, config fingerprint) identity
+// shared by the result LRU, the sync single-flight and the job
+// queue's coalescing.
+func (sv *server) cacheKey(ctx charles.Query) string {
+	return ctx.Key() + "\x00" + sv.cfgFP
+}
+
+// runAdvise executes one real advise, counting it.
+func (sv *server) runAdvise(ctx context.Context, q charles.Query, progress charles.ProgressFunc) (*charles.Result, error) {
+	sv.advises.Add(1)
+	return sv.adv.AdviseCtx(ctx, q, progress)
+}
+
 // advise returns the ranked result for ctx, serving repeats — from
 // any session — out of the result cache when caching is enabled.
+// Concurrent misses on the same key are single-flighted: one caller
+// advises, the rest wait and share. Failed advises are never cached,
+// so a transient failure cannot masquerade as an empty result.
 func (sv *server) advise(ctx charles.Query) (*charles.Result, error) {
 	if sv.results == nil {
-		return sv.adv.Advise(ctx)
+		return sv.runAdvise(context.Background(), ctx, nil)
 	}
-	key := ctx.Key() + "\x00" + sv.cfgFP
+	key := sv.cacheKey(ctx)
 	if res, ok := sv.results.get(key); ok {
 		return res, nil
 	}
-	res, err := sv.adv.Advise(ctx)
-	if err != nil {
-		return nil, err
-	}
-	sv.results.put(key, res)
-	return res, nil
+	res, err, _ := sv.flight.Do(key, func() (*charles.Result, error) {
+		// Re-check under the flight: a caller that missed just
+		// before a previous flight stored would otherwise re-advise.
+		if res, ok := sv.results.peek(key); ok {
+			return res, nil
+		}
+		// Join an async job already executing this key instead of
+		// advising the same context twice — the two front ends share
+		// every advise. Queued jobs are not waited on (the queue may
+		// be backed up far longer than advising here would take).
+		if j, ok := sv.jobs.Peek(key); ok {
+			snap := j.Snapshot()
+			if snap.State == jobs.StateRunning || snap.State == jobs.StateDone {
+				<-j.Done()
+				if snap = j.Snapshot(); snap.State == jobs.StateDone && snap.Result != nil {
+					return snap.Result, nil
+				}
+				// Cancelled or failed under us: advise ourselves.
+			}
+		}
+		res, err := sv.runAdvise(context.Background(), ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		sv.results.put(key, res)
+		return res, nil
+	})
+	return res, err
 }
 
 func main() {
 	var (
-		csvPath   = flag.String("csv", "", "load this CSV file")
-		dsName    = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
-		rows      = flag.Int("rows", 50000, "rows for built-in datasets")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		addr      = flag.String("addr", ":8080", "listen address")
-		context   = flag.String("context", "", "initial SDL context (empty = all columns)")
-		workers   = flag.Int("workers", 0, "advisor worker goroutines per advise (0 = all CPUs)")
-		chunkRows = flag.Int("chunk-rows", 0, "row-range chunk width of the storage layer (0 = auto, 64K)")
+		csvPath    = flag.String("csv", "", "load this CSV file")
+		dsName     = flag.String("dataset", "voc", "built-in dataset: voc, sky, weblog, gaussian, uniform, figure3")
+		rows       = flag.Int("rows", 50000, "rows for built-in datasets")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+		initCtx    = flag.String("context", "", "initial SDL context (empty = all columns)")
+		workers    = flag.Int("workers", 0, "advisor worker goroutines per advise (0 = all CPUs)")
+		chunkRows  = flag.Int("chunk-rows", 0, "row-range chunk width of the storage layer (0 = auto, 64K)")
+		queueDepth = flag.Int("queue-depth", 64, "async advise jobs the queue holds before rejecting (503)")
+		jobWorkers = flag.Int("job-workers", 2, "advises executing concurrently (independent of -workers, the per-advise fan-out)")
+		jobTTL     = flag.Duration("job-ttl", 5*time.Minute, "how long finished jobs stay pollable")
 	)
 	flag.Parse()
 
@@ -212,17 +304,21 @@ func main() {
 	cfg.Workers = *workers
 	cfg.ChunkRows = *chunkRows
 	adv := charles.NewAdvisor(tab, cfg)
-	ctx, err := adv.ParseContext(*context)
+	ctx, err := adv.ParseContext(*initCtx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charles-server:", err)
 		os.Exit(1)
 	}
-	srv := newServer(adv, ctx)
+	srv := newServer(adv, ctx, jobs.Options{
+		QueueDepth: *queueDepth,
+		Workers:    *jobWorkers,
+		TTL:        *jobTTL,
+	})
 	display := *addr
 	if strings.HasPrefix(display, ":") {
 		display = "localhost" + display
 	}
-	log.Printf("charles-server: advising on %q (%d rows) at http://%s/",
+	log.Printf("charles-server: advising on %q (%d rows) at http://%s/ (async API at POST /advise)",
 		tab.Name(), tab.NumRows(), display)
 	hs := &http.Server{
 		Addr:              *addr,
@@ -232,14 +328,41 @@ func main() {
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting work,
+	// drain the running advise jobs (queued ones are cancelled so
+	// their pollers see a terminal state), then let in-flight HTTP
+	// requests finish.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("charles-server: %v — draining jobs and shutting down", sig)
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.jobs.Shutdown(dctx); err != nil {
+			log.Printf("charles-server: job drain: %v", err)
+		}
+		if err := hs.Shutdown(dctx); err != nil {
+			log.Printf("charles-server: http shutdown: %v", err)
+		}
+	}
 }
 
-// mux wires the handlers.
+// mux wires the handlers: the Figure 1 web UI plus the async job
+// API.
 func (sv *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", sv.handleIndex)
 	mux.HandleFunc("/zoom", sv.handleZoom)
+	mux.HandleFunc("/advise", sv.handleAdvise)
+	mux.HandleFunc("/jobs", sv.handleJobs)
+	mux.HandleFunc("/jobs/", sv.handleJob)
+	mux.HandleFunc("/healthz", sv.handleHealthz)
 	return mux
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,17 +13,29 @@ import (
 	"time"
 
 	"charles"
+	"charles/internal/jobs"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
+	return testServerOpts(t, charles.DefaultConfig(), jobs.Options{})
+}
+
+func testServerOpts(t *testing.T, cfg charles.Config, jopt jobs.Options) *server {
+	t.Helper()
 	tab := charles.GenerateVOC(2000, 1)
-	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	adv := charles.NewAdvisor(tab, cfg)
 	ctx, err := charles.ContextOn(tab, "type_of_boat", "tonnage", "departure_harbour")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(adv, ctx)
+	sv := newServer(adv, ctx, jopt)
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sv.jobs.Shutdown(sctx)
+	})
+	return sv
 }
 
 // client drives the server's mux like one browser: it remembers the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"charles/internal/par"
@@ -23,7 +24,18 @@ import (
 // The returned slice holds the segmentation after every split
 // (depths 2..MaxDepth), ranked like HBCuts output.
 func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, error) {
+	return AdaptiveCutsCtx(nil, ev, context, cfg, nil)
+}
+
+// AdaptiveCutsCtx is AdaptiveCuts with cooperative cancellation and
+// progress reporting: ctx stops the greedy loop at the next trial
+// boundary, and progress (optional) receives one PhaseTrials report
+// per finished attribute trial-cut. Like HBCutsCtx, neither changes
+// the returned ranking.
+func AdaptiveCutsCtx(ctx context.Context, ev *seg.Evaluator, q sdl.Query, cfg Config, progress ProgressFunc) ([]Scored, error) {
+	context := q // the exploration context; shadows the context package below, which is only needed in the signature
 	cfg = cfg.normalize()
+	prog := newProgressSink(progress)
 	attrs := context.Attrs()
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("core: context mentions no attributes")
@@ -38,6 +50,9 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 	cur := &seg.Segmentation{Queries: []sdl.Query{context}, Counts: []int{count}}
 	var out []Scored
 	for cur.Depth() < cfg.MaxDepth {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		// Pick the largest segment — the user is "primarily
 		// interested in the most significant parts of the data".
 		target := 0
@@ -51,7 +66,8 @@ func AdaptiveCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) ([]Scored, e
 		// pool; the pick below scans the trials in attribute order,
 		// so the greedy choice matches the sequential one exactly.
 		trials := make([]splitTrial, len(attrs))
-		err := par.ForEach(cfg.Workers, len(attrs), func(k int) error {
+		err := par.ForEachCtx(ctx, cfg.Workers, len(attrs), func(k int) error {
+			defer prog.report(PhaseTrials, 0)
 			children, err := seg.CutQuery(ev, targetQuery, attrs[k], cfg.Cut)
 			if err != nil {
 				return err

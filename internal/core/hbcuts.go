@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -97,6 +98,14 @@ type hbState struct {
 	// advise, so a candidate evaluated against O(n) partners is
 	// built once, not once per INDEP.
 	memo *seg.PairMemo
+	// ctx cancels the run: the composition loop, the pair fan-outs
+	// and the cell loops underneath all re-check it at task
+	// boundaries. Nil means "never cancelled".
+	ctx context.Context
+	// prog streams per-phase completion tallies; nil means no
+	// progress reporting. Reporting never feeds back into the
+	// algorithm, so ranked output is identical with and without it.
+	prog *progressSink
 }
 
 // HBCuts runs the Figure 4 algorithm: seed one binary segmentation
@@ -104,7 +113,20 @@ type hbState struct {
 // stop on independence or depth, and return every segmentation
 // encountered, ranked.
 func HBCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) (*Result, error) {
-	st, err := newHBState(ev, context, cfg)
+	return HBCutsCtx(nil, ev, context, cfg, nil)
+}
+
+// HBCutsCtx is HBCuts with cooperative cancellation and progress
+// reporting. A cancelled ctx stops the run at the next task boundary
+// — between initial cuts, between INDEP cell evaluations, between
+// composition steps — releases every worker goroutine, and returns
+// ctx.Err(). progress (optional) receives one report per completed
+// initial cut (PhaseCuts, Total = context attribute count) and one
+// per INDEP pair evaluation (PhasePairs, open-ended). Neither ctx
+// nor progress changes ranked output: an uncancelled run returns
+// byte-identical results to HBCuts.
+func HBCutsCtx(ctx context.Context, ev *seg.Evaluator, q sdl.Query, cfg Config, progress ProgressFunc) (*Result, error) {
+	st, err := newHBStateCtx(ctx, ev, q, cfg, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +150,10 @@ func HBCuts(ev *seg.Evaluator, context sdl.Query, cfg Config) (*Result, error) {
 }
 
 func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, error) {
+	return newHBStateCtx(nil, ev, context, cfg, nil)
+}
+
+func newHBStateCtx(ctx context.Context, ev *seg.Evaluator, context sdl.Query, cfg Config, progress ProgressFunc) (*hbState, error) {
 	cfg = cfg.normalize()
 	if len(context.Attrs()) == 0 {
 		return nil, fmt.Errorf("core: context mentions no attributes")
@@ -139,6 +165,8 @@ func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, err
 		indep:   make(map[[2]int]float64),
 		res:     &Result{Context: context},
 		memo:    seg.NewPairMemo(),
+		ctx:     ctx,
+		prog:    newProgressSink(progress),
 	}
 	if cfg.Pairing == PairRandom {
 		st.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -160,12 +188,13 @@ func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, err
 		ok  bool
 	}
 	cuts := make([]initial, len(attrs))
-	err := par.ForEach(cfg.Workers, len(attrs), func(i int) error {
+	err := par.ForEachCtx(ctx, cfg.Workers, len(attrs), func(i int) error {
 		s, ok, err := seg.InitialCut(ev, context, attrs[i], cfg.Cut)
 		if err != nil {
 			return err
 		}
 		cuts[i] = initial{seg: s, ok: ok}
+		st.prog.report(PhaseCuts, len(attrs))
 		return nil
 	})
 	if err != nil {
@@ -190,6 +219,9 @@ func newHBState(ev *seg.Evaluator, context sdl.Query, cfg Config) (*hbState, err
 // (StopReason recorded on the result). The boolean reports whether
 // composition may continue.
 func (st *hbState) step() (*seg.Segmentation, bool, error) {
+	if st.ctx != nil && st.ctx.Err() != nil {
+		return nil, false, st.ctx.Err()
+	}
 	if len(st.cand) < 2 {
 		st.res.StopReason = StopExhausted
 		return nil, false, nil
@@ -287,12 +319,13 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 	if len(todo) > 0 && st.cfg.Workers/len(todo) > 1 {
 		inner = st.cfg.Workers / len(todo)
 	}
-	err := par.ForEach(st.cfg.Workers, len(todo), func(k int) error {
+	err := par.ForEachCtx(st.ctx, st.cfg.Workers, len(todo), func(k int) error {
 		v, err := seg.IndepOpt(st.ev, st.cand[todo[k].i].seg, st.cand[todo[k].j].seg, st.pairOpts(inner))
 		if err != nil {
 			return err
 		}
 		todo[k].val = v
+		st.prog.report(PhasePairs, 0)
 		return nil
 	})
 	if err != nil {
@@ -318,7 +351,7 @@ func (st *hbState) pickPair() (int, int, float64, error) {
 // under: the configured selection representation, the advise-wide
 // pair-side memo, with the cell loop bounded at workers goroutines.
 func (st *hbState) pairOpts(workers int) seg.PairOptions {
-	return seg.PairOptions{Workers: workers, Rep: st.cfg.Selection, Memo: st.memo}
+	return seg.PairOptions{Workers: workers, Rep: st.cfg.Selection, Memo: st.memo, Ctx: st.ctx}
 }
 
 func pairKey(a, b candidate) [2]int {
@@ -341,6 +374,7 @@ func (st *hbState) pairIndep(a, b candidate) (float64, error) {
 	}
 	st.res.IndepEvals++
 	st.indep[key] = v
+	st.prog.report(PhasePairs, 0)
 	return v, nil
 }
 

@@ -1,0 +1,64 @@
+package core
+
+import "sync"
+
+// Progress phases. One advise reports "cuts" while seeding the
+// initial per-attribute segmentations, then "pairs" while evaluating
+// INDEP pair candidates; AdaptiveCuts reports "trials", one per
+// attribute trial-cut. Phases within one run never interleave.
+const (
+	PhaseCuts   = "cuts"
+	PhasePairs  = "pairs"
+	PhaseTrials = "trials"
+)
+
+// Progress is one advise progress report: Done units of the named
+// phase have completed. Total is the phase's known size, or 0 when
+// the phase is open-ended (the number of INDEP evaluations depends
+// on how composition unfolds). Done is cumulative and strictly
+// monotone within a phase, so the report stream is deterministic —
+// always 1, 2, ..., n per phase — even though the parallel tasks
+// behind it finish in scheduler order.
+type Progress struct {
+	Phase string `json:"phase"`
+	Done  int    `json:"done"`
+	Total int    `json:"total,omitempty"`
+}
+
+// ProgressFunc receives progress reports during an advise. It may be
+// called from multiple goroutines, but calls are serialized (one at
+// a time) and Done values arrive in increasing order. A slow
+// ProgressFunc throttles the advise — keep it O(1), e.g. a snapshot
+// store the poller reads.
+type ProgressFunc func(Progress)
+
+// progressSink serializes concurrent per-task completion reports
+// into the deterministic monotone stream ProgressFunc promises. A
+// nil sink (no ProgressFunc supplied) is valid and free.
+type progressSink struct {
+	mu   sync.Mutex
+	fn   ProgressFunc
+	done map[string]int
+}
+
+func newProgressSink(fn ProgressFunc) *progressSink {
+	if fn == nil {
+		return nil
+	}
+	return &progressSink{fn: fn, done: make(map[string]int)}
+}
+
+// report counts one completed unit of the phase and forwards the
+// cumulative tally.
+func (p *progressSink) report(phase string, total int) {
+	if p == nil {
+		return
+	}
+	// fn runs under the lock: releasing it first would let a later
+	// tally overtake an earlier one on its way into fn, breaking the
+	// monotone-order promise.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done[phase]++
+	p.fn(Progress{Phase: phase, Done: p.done[phase], Total: total})
+}

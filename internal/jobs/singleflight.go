@@ -1,0 +1,56 @@
+package jobs
+
+import (
+	"sync"
+
+	"charles/internal/core"
+)
+
+// Group is the jobs layer's coalescing helper in synchronous form: a
+// minimal single-flight for callers that block on the result instead
+// of polling a job. The server's synchronous advise path shares it,
+// so N concurrent cache misses on one (context, config) key run one
+// advise and N-1 waiters — the same dedup the Manager applies to
+// queued jobs, without the queue.
+//
+// Unlike a cache, a Group holds a key only while its call is in
+// flight: the result is handed to the waiters and forgotten, so
+// error results are never retained (callers decide what to cache).
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *core.Result
+	err error
+}
+
+// Do executes fn under key, returning its result. Concurrent Do
+// calls with the same key wait for the first caller's fn instead of
+// running their own; the boolean reports whether the result was
+// shared from another caller's flight.
+func (g *Group) Do(key string, fn func() (*core.Result, error)) (*core.Result, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.res, c.err, false
+}

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,8 +30,24 @@ func Workers(n int) int {
 // returned error is the one from the lowest index, matching what a
 // sequential loop that continued past errors would report first.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(nil, workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker
+// re-checks ctx before claiming the next index, so a cancelled
+// context stops the fan-out at the next task boundary — in-flight
+// tasks finish, unstarted ones never run, and all workers are
+// released before the call returns. When the context is cancelled
+// the return value is ctx.Err() (cancellation outranks task errors:
+// with tasks skipped, "lowest failing index" is no longer
+// meaningful). A nil ctx means "never cancelled" and costs nothing
+// extra.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
@@ -38,9 +55,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 || n == 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
 		}
 		return first
 	}
@@ -48,6 +71,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -65,6 +91,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	work()
 	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package seg
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -67,6 +68,12 @@ type PairOptions struct {
 	// one memo per advise so each segmentation is assembled exactly
 	// once per query.
 	Memo *PairMemo
+	// Ctx cancels the pairwise operator mid-flight: the selection
+	// gather and the contingency cell loop — the per-pair cost drivers
+	// — re-check it at every task boundary, so a cancelled advise
+	// releases its workers within one cell's worth of work. Nil means
+	// "never cancelled".
+	Ctx context.Context
 }
 
 func (o PairOptions) normalize() PairOptions {
@@ -127,7 +134,7 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 		}
 	}
 	css := make([]*engine.ChunkedSelection, len(s.Queries))
-	err := par.ForEach(opt.Workers, len(s.Queries), func(i int) error {
+	err := par.ForEachCtx(opt.Ctx, opt.Workers, len(s.Queries), func(i int) error {
 		cs, err := ev.SelectChunked(s.Queries[i])
 		if err != nil {
 			return err
@@ -146,9 +153,10 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 	// O(n) partners per step. The flat row-id view only materializes
 	// for segments that stay vectors: the cell loop never reads the
 	// vector side of a bitmap-packed segment, so flattening it would
-	// be a pure O(|sel|) copy wasted. Errors are impossible, so
-	// ForEach is used purely for the fan-out.
-	_ = par.ForEach(opt.Workers, len(css), func(i int) error {
+	// be a pure O(|sel|) copy wasted. Task errors are impossible, so
+	// only cancellation can surface — and it must, or a half-packed
+	// side would be memoized as complete.
+	if err := par.ForEachCtx(opt.Ctx, opt.Workers, len(css), func(i int) error {
 		if opt.Rep == RepBitmap ||
 			(opt.Rep != RepVector && engine.DenseEnough(css[i].Len(), nRows)) {
 			bms[i] = ev.packedSelection(s.Queries[i], css[i])
@@ -156,7 +164,9 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 			sels[i] = css[i].Flat()
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	side := &pairSide{sels: sels, bms: bms}
 	if opt.Memo != nil {
 		opt.Memo.put(memoKey, side)
@@ -209,7 +219,7 @@ func ProductOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (*Segmenta
 		count int
 	}
 	cells := make([]prodCell, n1*n2)
-	err = par.ForEach(opt.Workers, n1*n2, func(k int) error {
+	err = par.ForEachCtx(opt.Ctx, opt.Workers, n1*n2, func(k int) error {
 		i, j := k/n2, k%n2
 		q, nonEmpty, err := sdl.Conjoin(s1.Queries[i], s2.Queries[j])
 		if err != nil {
@@ -263,12 +273,15 @@ func CellCountsOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) ([][]in
 	}
 	n1, n2 := len(a.sels), len(b.sels)
 	flat := make([]int, n1*n2)
-	// Cell errors are impossible once both sides are built; ForEach
-	// is used purely for the fan-out.
-	_ = par.ForEach(opt.Workers, n1*n2, func(k int) error {
+	// Cell errors are impossible once both sides are built; only
+	// cancellation can surface, and a cancelled table must not be
+	// read as all-zero counts.
+	if err := par.ForEachCtx(opt.Ctx, opt.Workers, n1*n2, func(k int) error {
 		flat[k] = cellCount(a, k/n2, b, k%n2)
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	cells := make([][]int, n1)
 	for i := range cells {
 		cells[i] = flat[i*n2 : (i+1)*n2 : (i+1)*n2]
