@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke bench-scale fmt fmt-check vet ci
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet ci
 
 all: build
 
@@ -29,6 +29,17 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Perf trajectory: the bench-smoke set with -benchmem, recorded as
+# op → ns/op + B/op + allocs/op JSON. CI uploads BENCH_5.json as an
+# artifact so future PRs have a baseline to diff against; bump the
+# number when the recording format changes materially. Two steps, not
+# a pipe: a pipe would report the converter's exit status and let a
+# failing benchmark slip through the CI gate.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench-smoke.out
+	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > BENCH_5.json
+	@rm -f bench-smoke.out
+
 # The 10M-row scale comparison (E17) plus the 1M-row chunked scan
 # (E16), locally: generates ~10M rows of VOC (several hundred MB),
 # so it is not part of CI. Expect minutes on first run.
@@ -45,4 +56,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test-race bench-smoke
+ci: fmt-check vet build test-race bench-json

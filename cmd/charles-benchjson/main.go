@@ -1,0 +1,76 @@
+// Command charles-benchjson converts `go test -bench` output on
+// stdin into a JSON perf-trajectory document: benchmark name →
+// ns/op, B/op and allocs/op. The Makefile's bench-json target pipes
+// the bench-smoke sweep through it into BENCH_N.json, and CI uploads
+// the file as an artifact, so every PR leaves a machine-readable
+// baseline the next one can diff against.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | charles-benchjson > BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchResult is one benchmark's measurements. Bytes and allocs are
+// pointers so benchmarks run without -benchmem serialize as null
+// rather than a misleading zero.
+type benchResult struct {
+	Iterations  int      `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkE15ParallelCells/rep=auto/workers=4-8   100  123456 ns/op  2345 B/op  12 allocs/op
+//
+// The trailing -N on the name is the GOMAXPROCS suffix and is
+// stripped so the key is stable across machines.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	results := make(map[string]benchResult)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseFloat(m[5], 64)
+			r.AllocsPerOp = &a
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "charles-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "charles-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "charles-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -304,6 +304,14 @@ func main() {
 	cfg.Workers = *workers
 	cfg.ChunkRows = *chunkRows
 	adv := charles.NewAdvisor(tab, cfg)
+	// Warm the zone maps after the advisor fixes the chunk layout:
+	// numeric min/max and nominal presence summaries are built lazily
+	// per column, and without the warm-up the first advise of every
+	// cold column pays the build inside a user-visible request.
+	warmStart := time.Now()
+	warmed := tab.WarmSummaries()
+	log.Printf("charles-server: warmed %d zone maps (%d chunks/col) in %v",
+		warmed, tab.NumChunks(), time.Since(warmStart))
 	ctx, err := adv.ParseContext(*initCtx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charles-server:", err)

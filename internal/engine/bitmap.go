@@ -52,15 +52,14 @@ func NewBitmap(sel Selection, nRows int) *Bitmap {
 	return NewBitmapChunked(ChunkSelection(sel, nRows, DefaultChunkRows))
 }
 
-// NewBitmapChunked packs a chunked selection into a bitmap with the
-// same chunk layout, one chunk per worker-pool task. Empty chunks
-// stay nil.
-func NewBitmapChunked(cs *ChunkedSelection) *Bitmap {
+// newBitmapShell returns an all-empty bitmap in the given layout,
+// with the shift+mask addressing precomputed. Callers fill chunks
+// and the ones count.
+func newBitmapShell(nRows, chunkRows, nc int) *Bitmap {
 	b := &Bitmap{
-		chunks:    make([][]uint64, cs.NumChunks()),
-		nRows:     cs.NumRows(),
-		chunkRows: cs.ChunkRows(),
-		ones:      cs.Len(),
+		chunks:    make([][]uint64, nc),
+		nRows:     nRows,
+		chunkRows: chunkRows,
 	}
 	if b.chunkRows&(b.chunkRows-1) == 0 {
 		b.chunkMask = b.chunkRows - 1
@@ -68,21 +67,42 @@ func NewBitmapChunked(cs *ChunkedSelection) *Bitmap {
 			b.chunkShift++
 		}
 	}
+	return b
+}
+
+// chunkWordCount returns the number of words chunk c's bitset needs
+// (the final chunk may cover fewer than chunkRows rows).
+func (b *Bitmap) chunkWordCount(c int) int {
+	top := b.chunkRows
+	if rest := b.nRows - c*b.chunkRows; rest < top {
+		top = rest
+	}
+	return (top + 63) / 64
+}
+
+// setSegBits sets every row of seg in words (rows local to base) and
+// returns the count set.
+func setSegBits(words []uint64, seg Selection, base int32) int {
+	for _, row := range seg {
+		local := row - base
+		words[local>>6] |= 1 << (uint(local) & 63)
+	}
+	return len(seg)
+}
+
+// NewBitmapChunked packs a chunked selection into a bitmap with the
+// same chunk layout, one chunk per worker-pool task. Empty chunks
+// stay nil.
+func NewBitmapChunked(cs *ChunkedSelection) *Bitmap {
+	b := newBitmapShell(cs.NumRows(), cs.ChunkRows(), cs.NumChunks())
+	b.ones = cs.Len()
 	forEachSeg(cs, func(c int) {
 		seg := cs.Seg(c)
 		if len(seg) == 0 {
 			return
 		}
-		base := int32(c * b.chunkRows)
-		top := b.chunkRows
-		if rest := b.nRows - c*b.chunkRows; rest < top {
-			top = rest
-		}
-		words := make([]uint64, (top+63)/64)
-		for _, row := range seg {
-			local := row - base
-			words[local>>6] |= 1 << (uint(local) & 63)
-		}
+		words := make([]uint64, b.chunkWordCount(c))
+		setSegBits(words, seg, int32(c*b.chunkRows))
 		b.chunks[c] = words
 	})
 	return b

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"charles/internal/par"
@@ -145,12 +146,29 @@ func (l Layout) SummaryByName(name string) *ChunkSummary {
 	return l.t.summaryIn(l.lay, i)
 }
 
-// ChunkSummary is one column's per-chunk zone map: the min/max of
-// every row-range chunk, computed over the raw column (not a
-// selection). Range filters consult it to skip chunks no row of
-// which can match, and to pass chunks wholesale when every row must.
-// Only numeric columns (int, date, float) are summarized; nominal
-// predicates are set-shaped and gain nothing from ordered bounds.
+// denseCodeDictMax is the dictionary cardinality at or below which a
+// string column's presence summary is a dense per-chunk code bitset:
+// dictLen bits per chunk, at most 512 bytes at this cap. Above it
+// the bitset would cost more to scan than it saves, so chunks record
+// a short sorted distinct-code list instead.
+const denseCodeDictMax = 4096
+
+// maxCodeListLen caps the sparse per-chunk code list. A chunk of a
+// high-cardinality column that holds more distinct codes than this
+// is marked overflowed and always scans: a presence list approaching
+// the wanted-set size would make the verdict as expensive as the
+// scan it tries to avoid.
+const maxCodeListLen = 128
+
+// ChunkSummary is one column's per-chunk zone map, computed over the
+// raw column (not a selection). Numeric columns (int, date, float)
+// record the min/max of every row-range chunk: range filters consult
+// them to skip chunks no row of which can match, and to pass chunks
+// wholesale when every row must. Nominal columns (string, bool)
+// record per-chunk value presence — which dictionary codes occur in
+// the chunk — so set predicates get the same skip/take/scan verdicts
+// from set algebra: skip when the chunk holds none of the wanted
+// codes, take when every code it holds is wanted.
 type ChunkSummary struct {
 	intMin, intMax     []int64
 	floatMin, floatMax []float64
@@ -159,6 +177,23 @@ type ChunkSummary struct {
 	// range (FloatRange.Contains(NaN) is true) regardless of the
 	// finite bounds.
 	floatPure []bool
+
+	// String-column presence, in exactly one of two forms. dictLen is
+	// the dictionary cardinality the summary was built for (the
+	// column is immutable, so it cannot drift).
+	dictLen int
+	// codeBits[c] is chunk c's dense presence bitset over dictionary
+	// codes; used when dictLen ≤ denseCodeDictMax.
+	codeBits [][]uint64
+	// codeList[c] is chunk c's sorted distinct-code list for larger
+	// dictionaries; meaningless when codeOverflow[c] is set (the
+	// chunk held more than maxCodeListLen distinct codes and must
+	// scan).
+	codeList     [][]uint32
+	codeOverflow []bool
+
+	// Bool-column presence: which of the two values each chunk holds.
+	boolHasTrue, boolHasFalse []bool
 }
 
 // IntBounds returns chunk c's [min, max] over the raw column.
@@ -170,6 +205,39 @@ func (s *ChunkSummary) IntBounds(c int) (lo, hi int64) {
 // the chunk is NaN-free. On an all-NaN chunk the bounds are NaN.
 func (s *ChunkSummary) FloatBounds(c int) (lo, hi float64, pure bool) {
 	return s.floatMin[c], s.floatMax[c], s.floatPure[c]
+}
+
+// HasNominal reports whether the summary carries nominal presence
+// information (built over a string or bool column).
+func (s *ChunkSummary) HasNominal() bool {
+	return s.codeBits != nil || s.codeList != nil || s.boolHasTrue != nil
+}
+
+// BoolPresence returns which boolean values chunk c holds.
+func (s *ChunkSummary) BoolPresence(c int) (hasTrue, hasFalse bool) {
+	return s.boolHasTrue[c], s.boolHasFalse[c]
+}
+
+// canPruneCodes reports whether the code-presence summary can give a
+// non-scan verdict for at least one chunk: always for the dense
+// bitset form, and for the sparse form only when some chunk stayed
+// under the list cap. Callers that must pay to translate a predicate
+// into code space (string ranges resolving the dictionary interval)
+// consult this first — against an all-overflowed summary that
+// translation buys nothing.
+func (s *ChunkSummary) canPruneCodes() bool {
+	if s.codeBits != nil {
+		return true
+	}
+	if s.codeList == nil {
+		return false
+	}
+	for _, overflowed := range s.codeOverflow {
+		if !overflowed {
+			return true
+		}
+	}
+	return false
 }
 
 // Summary returns the current layout's lazily built zone map of
@@ -193,7 +261,7 @@ func (t *Table) SummaryByName(name string) *ChunkSummary {
 
 func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
 	switch t.cols[i].(type) {
-	case IntValued, FloatValued:
+	case IntValued, FloatValued, *StringColumn, *BoolColumn:
 	default:
 		return nil
 	}
@@ -203,6 +271,20 @@ func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
 	s := t.buildSummary(lay, t.cols[i])
 	lay.summaries[i].CompareAndSwap(nil, s)
 	return lay.summaries[i].Load()
+}
+
+// WarmSummaries eagerly builds every column's zone map under the
+// current layout — numeric min/max bounds and nominal presence sets
+// alike — so a server's first queries never pay the lazy build.
+// It returns the number of summarized columns.
+func (t *Table) WarmSummaries() int {
+	n := 0
+	for i := range t.cols {
+		if t.Summary(i) != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // buildSummary computes the zone map, one chunk per worker-pool
@@ -254,6 +336,73 @@ func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
 			s.floatMin[c], s.floatMax[c], s.floatPure[c] = mn, mx, pure
 			return nil
 		})
+	case *StringColumn:
+		t.buildNominalSummary(lay, s, col, nc)
+	case *BoolColumn:
+		s.boolHasTrue = make([]bool, nc)
+		s.boolHasFalse = make([]bool, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			lo, hi := t.chunkBounds(lay, c)
+			var hasTrue, hasFalse bool
+			for r := lo; r < hi; r++ {
+				if col.Bool(r) {
+					hasTrue = true
+				} else {
+					hasFalse = true
+				}
+				if hasTrue && hasFalse {
+					break
+				}
+			}
+			s.boolHasTrue[c], s.boolHasFalse[c] = hasTrue, hasFalse
+			return nil
+		})
 	}
 	return s
+}
+
+// buildNominalSummary computes a string column's per-chunk presence
+// summary: a dense code bitset for small dictionaries, a short
+// sorted distinct-code list (or an overflow mark) for large ones.
+func (t *Table) buildNominalSummary(lay *tableLayout, s *ChunkSummary, col *StringColumn, nc int) {
+	s.dictLen = col.Cardinality()
+	codes := col.Codes()
+	if s.dictLen <= denseCodeDictMax {
+		s.codeBits = make([][]uint64, nc)
+		words := (s.dictLen + 63) / 64
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			lo, hi := t.chunkBounds(lay, c)
+			bits := make([]uint64, words)
+			for r := lo; r < hi; r++ {
+				code := codes[r]
+				bits[code>>6] |= 1 << (code & 63)
+			}
+			s.codeBits[c] = bits
+			return nil
+		})
+		return
+	}
+	s.codeList = make([][]uint32, nc)
+	s.codeOverflow = make([]bool, nc)
+	_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+		lo, hi := t.chunkBounds(lay, c)
+		seen := make(map[uint32]struct{}, maxCodeListLen+1)
+		for r := lo; r < hi; r++ {
+			if _, ok := seen[codes[r]]; ok {
+				continue
+			}
+			if len(seen) == maxCodeListLen {
+				s.codeOverflow[c] = true
+				return nil
+			}
+			seen[codes[r]] = struct{}{}
+		}
+		list := make([]uint32, 0, len(seen))
+		for code := range seen {
+			list = append(list, code)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		s.codeList[c] = list
+		return nil
+	})
 }

@@ -205,9 +205,93 @@ func FilterFloatSetChunked(col FloatValued, cs *ChunkedSelection, values []float
 	})
 }
 
+// codeSetVerdict classifies a chunk against a wanted dictionary-code
+// set using the column's presence summary: skip when the chunk holds
+// none of the wanted codes, take when every distinct code it holds
+// is wanted (so the whole segment passes through by reference), scan
+// otherwise. Chunks whose sparse code list overflowed always scan.
+func codeSetVerdict(sum *ChunkSummary, want map[uint32]struct{}) func(c int) chunkVerdict {
+	if sum == nil || (sum.codeBits == nil && sum.codeList == nil) {
+		return scanAlways
+	}
+	if sum.codeBits != nil {
+		wantBits := make([]uint64, (sum.dictLen+63)/64)
+		for code := range want {
+			if int(code) < sum.dictLen {
+				wantBits[code>>6] |= 1 << (code & 63)
+			}
+		}
+		return func(c int) chunkVerdict {
+			anyWanted, allWanted := false, true
+			for i, present := range sum.codeBits[c] {
+				if present&wantBits[i] != 0 {
+					anyWanted = true
+				}
+				if present&^wantBits[i] != 0 {
+					allWanted = false
+				}
+			}
+			switch {
+			case !anyWanted:
+				return chunkSkip
+			case allWanted:
+				return chunkTake
+			default:
+				return chunkScan
+			}
+		}
+	}
+	return func(c int) chunkVerdict {
+		if sum.codeOverflow[c] {
+			return chunkScan
+		}
+		anyWanted, allWanted := false, true
+		for _, code := range sum.codeList[c] {
+			if _, ok := want[code]; ok {
+				anyWanted = true
+			} else {
+				allWanted = false
+			}
+			if anyWanted && !allWanted {
+				return chunkScan
+			}
+		}
+		switch {
+		case !anyWanted:
+			return chunkSkip
+		case allWanted:
+			return chunkTake
+		default:
+			return chunkScan
+		}
+	}
+}
+
+// boolSetVerdict is codeSetVerdict for the two-value bool domain.
+func boolSetVerdict(sum *ChunkSummary, wantTrue, wantFalse bool) func(c int) chunkVerdict {
+	if sum == nil || sum.boolHasTrue == nil {
+		return scanAlways
+	}
+	return func(c int) chunkVerdict {
+		hasTrue, hasFalse := sum.boolHasTrue[c], sum.boolHasFalse[c]
+		anyWanted := (wantTrue && hasTrue) || (wantFalse && hasFalse)
+		allWanted := (!hasTrue || wantTrue) && (!hasFalse || wantFalse)
+		switch {
+		case !anyWanted:
+			return chunkSkip
+		case allWanted:
+			return chunkTake
+		default:
+			return chunkScan
+		}
+	}
+}
+
 // FilterStringSetChunked narrows cs to rows whose string value is
-// one of values, testing membership on dictionary codes.
-func FilterStringSetChunked(col *StringColumn, cs *ChunkedSelection, values []string) *ChunkedSelection {
+// one of values, testing membership on dictionary codes. The nominal
+// zone map prunes chunks holding no wanted code and passes chunks
+// wholesale when every code they hold is wanted.
+func FilterStringSetChunked(col *StringColumn, cs *ChunkedSelection, values []string, sum *ChunkSummary) *ChunkedSelection {
 	if len(values) == 0 {
 		return emptyLike(cs)
 	}
@@ -216,24 +300,48 @@ func FilterStringSetChunked(col *StringColumn, cs *ChunkedSelection, values []st
 		return emptyLike(cs)
 	}
 	codes := col.Codes()
-	return filterSegs(cs, scanAlways, func(seg Selection) Selection {
+	return filterSegs(cs, codeSetVerdict(sum, want), func(seg Selection) Selection {
 		return scanCodeSet(codes, seg, want)
 	})
 }
 
 // FilterStringRangeChunked narrows cs to rows whose string value
-// lies in the lexicographic interval [lo, hi].
-func FilterStringRangeChunked(col *StringColumn, cs *ChunkedSelection, lo, hi string, loIncl, hiIncl bool) *ChunkedSelection {
-	return filterSegs(cs, scanAlways, func(seg Selection) Selection {
-		return scanStringRange(col, seg, lo, hi, loIncl, hiIncl)
+// lies in the lexicographic interval [lo, hi]. With a presence
+// summary the range is resolved to the set of dictionary codes it
+// covers — one pass over the dictionary, not the rows — which both
+// turns the per-row test into a dense code probe and lets the same
+// verdicts prune and pass chunks exactly like an explicit value set.
+// Without one that can actually prune (pruning ablated, a
+// summary-less caller, or a sparse summary every chunk of which
+// overflowed) the per-row string comparison scan runs directly:
+// paying O(dictionary) to build a code set no verdict will profit
+// from would make narrow selections over high-cardinality columns
+// *slower* than the scan.
+func FilterStringRangeChunked(col *StringColumn, cs *ChunkedSelection, lo, hi string, loIncl, hiIncl bool, sum *ChunkSummary) *ChunkedSelection {
+	if sum == nil || !sum.canPruneCodes() {
+		return filterSegs(cs, scanAlways, func(seg Selection) Selection {
+			return scanStringRange(col, seg, lo, hi, loIncl, hiIncl)
+		})
+	}
+	want := stringRangeCodeSet(col, lo, hi, loIncl, hiIncl)
+	if len(want) == 0 {
+		return emptyLike(cs)
+	}
+	codes := col.Codes()
+	return filterSegs(cs, codeSetVerdict(sum, want), func(seg Selection) Selection {
+		return scanCodeSet(codes, seg, want)
 	})
 }
 
 // FilterBoolSetChunked narrows cs to rows whose boolean value
-// appears in values.
-func FilterBoolSetChunked(col *BoolColumn, cs *ChunkedSelection, values []bool) *ChunkedSelection {
+// appears in values, skipping chunks that hold no wanted value and
+// passing chunks every row of which must match.
+func FilterBoolSetChunked(col *BoolColumn, cs *ChunkedSelection, values []bool, sum *ChunkSummary) *ChunkedSelection {
 	wantTrue, wantFalse := boolWants(values)
-	return filterSegs(cs, scanAlways, func(seg Selection) Selection {
+	if !wantTrue && !wantFalse {
+		return emptyLike(cs)
+	}
+	return filterSegs(cs, boolSetVerdict(sum, wantTrue, wantFalse), func(seg Selection) Selection {
 		return scanBoolSet(col, seg, wantTrue, wantFalse)
 	})
 }

@@ -144,8 +144,10 @@ func TestChunkedFiltersMatchMonolithic(t *testing.T) {
 		if tonSum == nil || speedSum == nil {
 			t.Fatal("numeric columns must have zone maps")
 		}
-		if tab.SummaryByName("type") != nil || tab.SummaryByName("armed") != nil {
-			t.Fatal("nominal columns must not have zone maps")
+		typSum := tab.SummaryByName("type")
+		armedSum := tab.SummaryByName("armed")
+		if typSum == nil || armedSum == nil {
+			t.Fatal("nominal columns must have presence zone maps")
 		}
 		ranges := []IntRange{
 			{Lo: 0, Hi: int64(nRows * 2), LoIncl: true, HiIncl: true},  // covers all: take path
@@ -173,14 +175,23 @@ func TestChunkedFiltersMatchMonolithic(t *testing.T) {
 			selEqual(t, "FilterFloatSetChunked",
 				FilterFloatSetChunked(speed, cs, []float64{3, 20}, speedSum),
 				FilterFloatSet(speed, sel, []float64{3, 20}))
-			selEqual(t, "FilterStringSetChunked",
-				FilterStringSetChunked(typ, cs, []string{"fluit", "galjoot"}),
+			selEqual(t, "FilterStringSetChunked+zonemap",
+				FilterStringSetChunked(typ, cs, []string{"fluit", "galjoot"}, typSum),
 				FilterStringSet(typ, sel, []string{"fluit", "galjoot"}))
-			selEqual(t, "FilterStringRangeChunked",
-				FilterStringRangeChunked(typ, cs, "g", "k", true, false),
+			selEqual(t, "FilterStringSetChunked",
+				FilterStringSetChunked(typ, cs, []string{"fluit", "galjoot"}, nil),
+				FilterStringSet(typ, sel, []string{"fluit", "galjoot"}))
+			selEqual(t, "FilterStringRangeChunked+zonemap",
+				FilterStringRangeChunked(typ, cs, "g", "k", true, false, typSum),
 				FilterStringRange(typ, sel, "g", "k", true, false))
+			selEqual(t, "FilterStringRangeChunked",
+				FilterStringRangeChunked(typ, cs, "g", "k", true, false, nil),
+				FilterStringRange(typ, sel, "g", "k", true, false))
+			selEqual(t, "FilterBoolSetChunked+zonemap",
+				FilterBoolSetChunked(armed, cs, []bool{true}, armedSum),
+				FilterBoolSet(armed, sel, []bool{true}))
 			selEqual(t, "FilterBoolSetChunked",
-				FilterBoolSetChunked(armed, cs, []bool{true}),
+				FilterBoolSetChunked(armed, cs, []bool{true}, nil),
 				FilterBoolSet(armed, sel, []bool{true}))
 		}
 	}

@@ -149,21 +149,54 @@ func statWorkers(cs *ChunkedSelection) (workers int, release func()) {
 	return extra + 1, release
 }
 
-// flattenInt64 concatenates per-chunk shards into one fresh vector.
-func flattenInt64(chunks [][]int64, n int) []int64 {
-	out := make([]int64, 0, n)
-	for _, ch := range chunks {
-		out = append(out, ch...)
+// gatherIntScratch is GatherIntChunked into pooled scratch buffers:
+// the shards feed one order-statistic computation and go straight
+// back to the pool via release, so a warm advisor's cut-point math
+// stops allocating gather targets. Callers must not retain any shard
+// past release.
+func gatherIntScratch(col IntValued, cs *ChunkedSelection) (chunks [][]int64, release func()) {
+	nc := cs.NumChunks()
+	chunks = make([][]int64, nc)
+	ptrs := make([]*[]int64, nc)
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		p := int64Scratch.Get(len(seg))
+		vals := *p
+		for i, row := range seg {
+			vals[i] = col.Int64(int(row))
+		}
+		ptrs[c], chunks[c] = p, vals
+	})
+	return chunks, func() {
+		for _, p := range ptrs {
+			if p != nil {
+				int64Scratch.Put(p)
+			}
+		}
 	}
-	return out
 }
 
-func flattenFloat64(chunks [][]float64, n int) []float64 {
-	out := make([]float64, 0, n)
+// flattenInt64Scratch concatenates per-chunk shards into one pooled
+// vector of exactly n elements.
+func flattenInt64Scratch(chunks [][]int64, n int) (*[]int64, []int64) {
+	p := int64Scratch.Get(n)
+	out := (*p)[:0]
 	for _, ch := range chunks {
 		out = append(out, ch...)
 	}
-	return out
+	return p, out
+}
+
+func flattenFloat64Scratch(chunks [][]float64, n int) (*[]float64, []float64) {
+	p := float64Scratch.Get(n)
+	out := (*p)[:0]
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return p, out
 }
 
 // posZero canonicalizes -0.0 to +0.0. The chunked rank selection
@@ -185,35 +218,44 @@ func posZeros(vals []float64) []float64 {
 	return vals
 }
 
-// gatherFloatFinite is GatherFloatChunked minus NaN values: the
-// order statistics (medians, equi-depth points) need a totally
-// ordered multiset, and NaN has no rank. Dropping it here — always,
-// in every branch — keeps the cut points deterministic: they depend
-// only on the finite values, never on which algorithm or worker
-// count a particular call happened to get. (This mirrors the NaN
-// convention of FloatMinMax.) n is the finite-value total.
-func gatherFloatFinite(col FloatValued, cs *ChunkedSelection) (chunks [][]float64, n int) {
-	chunks = make([][]float64, cs.NumChunks())
-	counts := make([]int, cs.NumChunks())
+// gatherFloatFinite is GatherFloatChunked minus NaN values, into
+// pooled scratch buffers: the order statistics (medians, equi-depth
+// points) need a totally ordered multiset, and NaN has no rank.
+// Dropping it here — always, in every branch — keeps the cut points
+// deterministic: they depend only on the finite values, never on
+// which algorithm or worker count a particular call happened to get.
+// (This mirrors the NaN convention of FloatMinMax.) n is the
+// finite-value total. Callers must not retain any shard past
+// release.
+func gatherFloatFinite(col FloatValued, cs *ChunkedSelection) (chunks [][]float64, n int, release func()) {
+	nc := cs.NumChunks()
+	chunks = make([][]float64, nc)
+	ptrs := make([]*[]float64, nc)
 	forEachSeg(cs, func(c int) {
 		seg := cs.Seg(c)
 		if len(seg) == 0 {
 			return
 		}
-		vals := make([]float64, 0, len(seg))
+		p := float64Scratch.Get(len(seg))
+		vals := (*p)[:0]
 		for _, row := range seg {
 			v := col.Float64(int(row))
 			if v == v { // not NaN
 				vals = append(vals, v)
 			}
 		}
-		chunks[c] = vals
-		counts[c] = len(vals)
+		ptrs[c], chunks[c] = p, vals
 	})
-	for _, k := range counts {
-		n += k
+	for _, ch := range chunks {
+		n += len(ch)
 	}
-	return chunks, n
+	return chunks, n, func() {
+		for _, p := range ptrs {
+			if p != nil {
+				float64Scratch.Put(p)
+			}
+		}
+	}
 }
 
 // IntMedianChunked returns the upper median of col over cs — the
@@ -229,11 +271,14 @@ func IntMedianChunked(col IntValued, cs *ChunkedSelection) (int64, bool) {
 	if cs.Len() == 0 {
 		return 0, false
 	}
-	chunks := GatherIntChunked(col, cs)
+	chunks, put := gatherIntScratch(col, cs)
+	defer put()
 	workers, release := statWorkers(cs)
 	defer release()
 	if workers <= 1 {
-		return stats.MedianInt64(flattenInt64(chunks, cs.Len())), true
+		p, flat := flattenInt64Scratch(chunks, cs.Len())
+		defer int64Scratch.Put(p)
+		return stats.MedianInt64(flat), true
 	}
 	return stats.MedianInt64Chunks(chunks, workers), true
 }
@@ -245,14 +290,17 @@ func FloatMedianChunked(col FloatValued, cs *ChunkedSelection) (float64, bool) {
 	if cs.Len() == 0 {
 		return 0, false
 	}
-	chunks, n := gatherFloatFinite(col, cs)
+	chunks, n, put := gatherFloatFinite(col, cs)
+	defer put()
 	if n == 0 {
 		return 0, false
 	}
 	workers, release := statWorkers(cs)
 	defer release()
 	if workers <= 1 {
-		return posZero(stats.MedianFloat64(flattenFloat64(chunks, n))), true
+		p, flat := flattenFloat64Scratch(chunks, n)
+		defer float64Scratch.Put(p)
+		return posZero(stats.MedianFloat64(flat)), true
 	}
 	return stats.MedianFloat64Chunks(chunks, workers), true
 }
@@ -263,11 +311,14 @@ func IntCutPointsChunked(col IntValued, cs *ChunkedSelection, arity int) []int64
 	if cs.Len() == 0 {
 		return nil
 	}
-	chunks := GatherIntChunked(col, cs)
+	chunks, put := gatherIntScratch(col, cs)
+	defer put()
 	workers, release := statWorkers(cs)
 	defer release()
 	if workers <= 1 {
-		return stats.EquiDepthPoints(flattenInt64(chunks, cs.Len()), arity)
+		p, flat := flattenInt64Scratch(chunks, cs.Len())
+		defer int64Scratch.Put(p)
+		return stats.EquiDepthPoints(flat, arity)
 	}
 	return stats.EquiDepthPointsChunks(chunks, arity, workers)
 }
@@ -278,14 +329,17 @@ func FloatCutPointsChunked(col FloatValued, cs *ChunkedSelection, arity int) []f
 	if cs.Len() == 0 {
 		return nil
 	}
-	chunks, n := gatherFloatFinite(col, cs)
+	chunks, n, put := gatherFloatFinite(col, cs)
+	defer put()
 	if n == 0 {
 		return nil
 	}
 	workers, release := statWorkers(cs)
 	defer release()
 	if workers <= 1 {
-		return posZeros(stats.EquiDepthPointsFloat64(flattenFloat64(chunks, n), arity))
+		p, flat := flattenFloat64Scratch(chunks, n)
+		defer float64Scratch.Put(p)
+		return posZeros(stats.EquiDepthPointsFloat64(flat, arity))
 	}
 	return stats.EquiDepthPointsChunksFloat64(chunks, arity, workers)
 }

@@ -133,6 +133,25 @@ func stringCodeSet(col *StringColumn, values []string) map[uint32]struct{} {
 	return want
 }
 
+// stringRangeCodeSet resolves a lexicographic interval to the set of
+// dictionary codes whose value falls inside it: one string
+// comparison per distinct value, so row scans and chunk verdicts
+// both work on dense codes.
+func stringRangeCodeSet(col *StringColumn, lo, hi string, loIncl, hiIncl bool) map[uint32]struct{} {
+	want := make(map[uint32]struct{})
+	for code := 0; code < col.Cardinality(); code++ {
+		v := col.DictValue(uint32(code))
+		if v < lo || (v == lo && !loIncl) {
+			continue
+		}
+		if v > hi || (v == hi && !hiIncl) {
+			continue
+		}
+		want[uint32(code)] = struct{}{}
+	}
+	return want
+}
+
 // int64Set builds the membership set plus its hull [min, max] (for
 // zone-map pruning). values must be non-empty.
 func int64Set(values []int64) (want map[int64]struct{}, min, max int64) {

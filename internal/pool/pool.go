@@ -1,0 +1,34 @@
+// Package pool provides the typed scratch-buffer pool shared by the
+// engine's chunked order statistics and the seg package's pairwise
+// operators. A pool entry is a *[]T so Get/Put move one pointer and
+// never re-box the slice header; capacity-starved entries are simply
+// replaced (the old array falls to the GC like it always did).
+//
+// The contract is strictly scratch: callers must return buffers with
+// Put and must not retain any view of them afterwards. Anything that
+// escapes to a caller — filter results, bitmaps, cached selections —
+// must never be pooled.
+package pool
+
+import "sync"
+
+// Slice recycles []T scratch buffers of one element type.
+type Slice[T any] struct{ p sync.Pool }
+
+// Get returns a buffer of length n (reused when a pooled one has the
+// capacity, freshly allocated otherwise). Contents are undefined
+// unless every Put site of the pool clears first.
+func (sp *Slice[T]) Get(n int) *[]T {
+	if v := sp.p.Get(); v != nil {
+		b := v.(*[]T)
+		if cap(*b) >= n {
+			*b = (*b)[:n]
+			return b
+		}
+	}
+	b := make([]T, n)
+	return &b
+}
+
+// Put returns a buffer to the pool.
+func (sp *Slice[T]) Put(b *[]T) { sp.p.Put(b) }

@@ -2,6 +2,7 @@ package seg
 
 import (
 	"fmt"
+	"math"
 
 	"charles/internal/engine"
 	"charles/internal/sdl"
@@ -231,30 +232,59 @@ func floatPieces(attr string, col engine.FloatValued, cs *engine.ChunkedSelectio
 // nominally — frequency-ordered set constraints — exactly like a
 // categorical column. Documented deviation: the paper's Definition 5
 // simply cannot split such a column.
+//
+// Counting iterates the typed values and keys the map on the raw
+// 64-bit payload: one integer map op per row, no Value boxing and no
+// string formatting in the loop. Values are formatted once per
+// distinct value at the end, where nominalPieces needs the canonical
+// strings for ordering; the ordering itself is deterministic (ties
+// broken on the value string) regardless of map iteration order,
+// which TestNumericNominalFallbackDeterministic pins.
 func numericNominalFallback(attr string, col engine.Column, sel engine.Selection, opt CutOptions) []sdl.Constraint {
-	type freq struct {
-		val   engine.Value
-		count int
-	}
-	counts := map[string]*freq{}
-	for _, row := range sel {
-		v := col.Value(int(row))
-		key := v.String()
-		if f, ok := counts[key]; ok {
-			f.count++
-		} else {
-			counts[key] = &freq{val: v, count: 1}
+	// The fallback only fires on near-constant extents, so the
+	// distinct count is small; a modest size hint avoids both rehash
+	// churn and a |sel|-sized over-allocation.
+	counts := make(map[uint64]int, 16)
+	var toValue func(bits uint64) engine.Value
+	switch col := col.(type) {
+	case engine.IntValued:
+		for _, row := range sel {
+			counts[uint64(col.Int64(int(row)))]++
 		}
+		if col.Kind() == engine.KindDate {
+			toValue = func(bits uint64) engine.Value { return engine.Date(int64(bits)) }
+		} else {
+			toValue = func(bits uint64) engine.Value { return engine.Int(int64(bits)) }
+		}
+	case engine.FloatValued:
+		for _, row := range sel {
+			v := col.Float64(int(row))
+			if v != v {
+				// Canonicalize NaN: every payload renders as the one
+				// string "NaN", so distinct NaN bit patterns must
+				// count as one value exactly like the string-keyed
+				// counting always did.
+				v = math.NaN()
+			}
+			counts[math.Float64bits(v)]++
+		}
+		toValue = func(bits uint64) engine.Value { return engine.Float(math.Float64frombits(bits)) }
+	default:
+		return nil
 	}
 	if len(counts) < 2 {
 		return nil
 	}
+	byKey := make(map[string]engine.Value, len(counts))
 	vcs := make([]stats.ValueCount, 0, len(counts))
-	for key, f := range counts {
-		vcs = append(vcs, stats.ValueCount{Value: key, Count: f.count})
+	for bits, n := range counts {
+		v := toValue(bits)
+		key := v.String()
+		byKey[key] = v
+		vcs = append(vcs, stats.ValueCount{Value: key, Count: n})
 	}
 	pieces, err := nominalPieces(attr, vcs, func(key string) engine.Value {
-		return counts[key].val
+		return byKey[key]
 	}, opt)
 	if err != nil {
 		return nil

@@ -74,6 +74,11 @@ type Evaluator struct {
 	shards   [cacheShards]cacheShard
 	bmShards [cacheShards]bitmapShard
 	caching  atomic.Bool
+	// zonePruning gates the zone-map verdicts (numeric bounds and
+	// nominal presence alike). On by default; the off position is the
+	// equivalence ablation — output must be byte-identical either
+	// way, only chunks scanned may differ.
+	zonePruning atomic.Bool
 	// identity is the lazily built chunked all-rows selection every
 	// full evaluation starts from; building it once per evaluator
 	// keeps cold full evaluations from each allocating an
@@ -100,8 +105,15 @@ func NewEvaluator(t *engine.Table) *Evaluator {
 		e.bmShards[i].m = make(map[string]*engine.Bitmap)
 	}
 	e.caching.Store(true)
+	e.zonePruning.Store(true)
 	return e
 }
+
+// SetZonePruning toggles zone-map chunk pruning (numeric min/max and
+// nominal presence verdicts). Pruning never changes results — only
+// which chunks are scanned — so the off position exists for the
+// equivalence property tests and for measuring the pruning win.
+func (e *Evaluator) SetZonePruning(on bool) { e.zonePruning.Store(on) }
 
 // Table returns the relation the evaluator is bound to.
 func (e *Evaluator) Table() *engine.Table { return e.tab }
@@ -222,6 +234,36 @@ func (e *Evaluator) store(key string, sel *engine.ChunkedSelection) {
 	s.mu.Unlock()
 }
 
+// cachedBitmap looks key up in the packed-selection cache.
+func (e *Evaluator) cachedBitmap(key string) (*engine.Bitmap, bool) {
+	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
+	s.mu.RLock()
+	bm, ok := s.m[key]
+	s.mu.RUnlock()
+	return bm, ok
+}
+
+// storeBitmap records key → bm in the packed-selection cache, with
+// the same bounded random-replacement policy as the selection store.
+func (e *Evaluator) storeBitmap(key string, bm *engine.Bitmap) {
+	perShard := 0
+	if limit := e.limit.Load(); limit > 0 {
+		perShard = int((limit + cacheShards - 1) / cacheShards)
+	}
+	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
+	s.mu.Lock()
+	if perShard > 0 && len(s.m) >= perShard {
+		if _, exists := s.m[key]; !exists {
+			for k := range s.m {
+				delete(s.m, k)
+				break
+			}
+		}
+	}
+	s.m[key] = bm
+	s.mu.Unlock()
+}
+
 // packedSelection returns the word-packed form of q's selection,
 // serving repeats from a per-query cache: HB-cuts evaluates each
 // candidate against O(n) partners per step, and without the cache
@@ -237,30 +279,74 @@ func (e *Evaluator) packedSelection(q sdl.Query, cs *engine.ChunkedSelection) *e
 		return engine.NewBitmapChunked(cs)
 	}
 	key := q.Key()
-	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
-	s.mu.RLock()
-	bm, ok := s.m[key]
-	s.mu.RUnlock()
-	if ok {
+	if bm, ok := e.cachedBitmap(key); ok {
 		return bm
 	}
-	bm = engine.NewBitmapChunked(cs)
-	perShard := 0
-	if limit := e.limit.Load(); limit > 0 {
-		perShard = int((limit + cacheShards - 1) / cacheShards)
-	}
-	s.mu.Lock()
-	if perShard > 0 && len(s.m) >= perShard {
-		if _, exists := s.m[key]; !exists {
-			for k := range s.m {
-				delete(s.m, k)
-				break
-			}
+	bm := engine.NewBitmapChunked(cs)
+	e.storeBitmap(key, bm)
+	return bm
+}
+
+// SelectBitmap returns R(Q) word-packed, the form the dense side of
+// the pairwise operators consumes. Cached forms are served in
+// cheapest-first order: the packed cache directly, then the chunked
+// selection cache (one packing pass). Only when neither holds the
+// query does it evaluate — and then the final predicate runs as a
+// fused filter→bitmap scan (engine.Filter*ChunkedBitmap) that writes
+// the bitmap words straight from the typed comparison loop, never
+// materializing the row-id selection it would otherwise build and
+// immediately discard. The returned bitmap must not be mutated.
+func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
+	key := q.Key()
+	caching := e.caching.Load()
+	if caching {
+		if bm, ok := e.cachedBitmap(key); ok {
+			e.cacheHits.Add(1)
+			return bm, nil
+		}
+		if cs, ok := e.cached(key); ok {
+			e.cacheHits.Add(1)
+			bm := engine.NewBitmapChunked(cs)
+			e.storeBitmap(key, bm)
+			return bm, nil
 		}
 	}
-	s.m[key] = bm
-	s.mu.Unlock()
-	return bm
+	cs := e.allRows()
+	last := -1
+	cons := q.Constraints()
+	for i, c := range cons {
+		if !c.IsAny() {
+			last = i
+		}
+	}
+	if last < 0 {
+		// Unconstrained context: pack the identity selection.
+		bm := engine.NewBitmapChunked(cs)
+		e.fullEvals.Add(1)
+		if caching {
+			e.storeBitmap(key, bm)
+		}
+		return bm, nil
+	}
+	for _, c := range cons[:last] {
+		if c.IsAny() {
+			continue
+		}
+		var err error
+		cs, err = e.applyConstraint(cs, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bm, err := e.applyConstraintBitmap(cs, cons[last])
+	if err != nil {
+		return nil, err
+	}
+	e.fullEvals.Add(1)
+	if caching {
+		e.storeBitmap(key, bm)
+	}
+	return bm, nil
 }
 
 // Select returns the sorted row selection R(Q) as a flat vector —
@@ -353,14 +439,12 @@ func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Q
 	return cs, nil
 }
 
-// applyConstraint dispatches one predicate to the engine's typed
-// chunked column filters, handing range predicates the column's zone
-// map so provably disjoint chunks are skipped and provably covered
-// ones pass through untouched.
-func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constraint) (*engine.ChunkedSelection, error) {
-	if c.IsAny() {
-		return cs, nil
-	}
+// resolveConstraint prepares one predicate application: it takes a
+// consistent layout snapshot, re-chunks a selection cached under an
+// older layout (zone maps index the snapshot layout's chunks, so a
+// verdict must never see mismatched addressing), resolves the
+// column, and fetches its zone map when pruning is on.
+func (e *Evaluator) resolveConstraint(cs *engine.ChunkedSelection, attr string) (*engine.ChunkedSelection, engine.Column, *engine.ChunkSummary, error) {
 	// One layout snapshot per constraint: the selection's chunking
 	// and the zone map consulted for it must describe the same
 	// layout, even while another advisor concurrently re-shards the
@@ -368,17 +452,35 @@ func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constrain
 	layout := e.tab.Layout()
 	if cs.ChunkRows() != layout.ChunkRows() {
 		// The selection was built (and possibly cached) under an
-		// older layout — the table has been re-sharded since. Zone
-		// maps index the snapshot layout's chunks, so re-chunk before
-		// any verdict consults them; the flat row ids are layout-
-		// independent, making this a pure re-addressing.
+		// older layout — the table has been re-sharded since. The
+		// flat row ids are layout-independent, making this a pure
+		// re-addressing.
 		cs = engine.ChunkSelection(cs.Flat(), e.tab.NumRows(), layout.ChunkRows())
 	}
-	col, ok := e.tab.ColumnByName(c.Attr)
+	col, ok := e.tab.ColumnByName(attr)
 	if !ok {
-		return nil, fmt.Errorf("seg: no column %q in table %q", c.Attr, e.tab.Name())
+		return nil, nil, nil, fmt.Errorf("seg: no column %q in table %q", attr, e.tab.Name())
 	}
-	sum := layout.SummaryByName(c.Attr)
+	var sum *engine.ChunkSummary
+	if e.zonePruning.Load() {
+		sum = layout.SummaryByName(attr)
+	}
+	return cs, col, sum, nil
+}
+
+// applyConstraint dispatches one predicate to the engine's typed
+// chunked column filters, handing every predicate the column's zone
+// map so provably disjoint chunks are skipped and provably covered
+// ones pass through untouched — numeric bounds for ranges, nominal
+// presence sets for string/bool predicates.
+func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constraint) (*engine.ChunkedSelection, error) {
+	if c.IsAny() {
+		return cs, nil
+	}
+	cs, col, sum, err := e.resolveConstraint(cs, c.Attr)
+	if err != nil {
+		return nil, err
+	}
 	switch col := col.(type) {
 	case *engine.StringColumn:
 		switch c.Kind {
@@ -387,11 +489,11 @@ func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constrain
 			for i, v := range c.Set {
 				vals[i] = v.AsString()
 			}
-			return engine.FilterStringSetChunked(col, cs, vals), nil
+			return engine.FilterStringSetChunked(col, cs, vals, sum), nil
 		case sdl.KindRange:
 			return engine.FilterStringRangeChunked(col, cs,
 				c.Range.Lo.AsString(), c.Range.Hi.AsString(),
-				c.Range.LoIncl, c.Range.HiIncl), nil
+				c.Range.LoIncl, c.Range.HiIncl, sum), nil
 		}
 	case *engine.BoolColumn:
 		if c.Kind == sdl.KindSet {
@@ -399,7 +501,7 @@ func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constrain
 			for i, v := range c.Set {
 				vals[i] = v.AsBool()
 			}
-			return engine.FilterBoolSetChunked(col, cs, vals), nil
+			return engine.FilterBoolSetChunked(col, cs, vals, sum), nil
 		}
 		return nil, fmt.Errorf("seg: %s: range constraint on bool column", c.Attr)
 	case *engine.FloatColumn:
@@ -429,6 +531,75 @@ func (e *Evaluator) applyConstraint(cs *engine.ChunkedSelection, c sdl.Constrain
 				vals[i] = v.AsInt()
 			}
 			return engine.FilterIntSetChunked(col, cs, vals, sum), nil
+		}
+	}
+	return nil, fmt.Errorf("seg: %s: unsupported %v constraint on %v column", c.Attr, c.Kind, col.Kind())
+}
+
+// applyConstraintBitmap is applyConstraint fused into bitmap
+// construction: the same verdicts and typed kernels, but the
+// predicate loop writes the word-packed bitmap directly instead of
+// materializing a selection that would only be packed and dropped.
+// The dispatch must mirror applyConstraint case for case — the two
+// are the vector and bitmap forms of one evaluation.
+func (e *Evaluator) applyConstraintBitmap(cs *engine.ChunkedSelection, c sdl.Constraint) (*engine.Bitmap, error) {
+	if c.IsAny() {
+		return engine.NewBitmapChunked(cs), nil
+	}
+	cs, col, sum, err := e.resolveConstraint(cs, c.Attr)
+	if err != nil {
+		return nil, err
+	}
+	switch col := col.(type) {
+	case *engine.StringColumn:
+		switch c.Kind {
+		case sdl.KindSet:
+			vals := make([]string, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsString()
+			}
+			return engine.FilterStringSetChunkedBitmap(col, cs, vals, sum), nil
+		case sdl.KindRange:
+			return engine.FilterStringRangeChunkedBitmap(col, cs,
+				c.Range.Lo.AsString(), c.Range.Hi.AsString(),
+				c.Range.LoIncl, c.Range.HiIncl, sum), nil
+		}
+	case *engine.BoolColumn:
+		if c.Kind == sdl.KindSet {
+			vals := make([]bool, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsBool()
+			}
+			return engine.FilterBoolSetChunkedBitmap(col, cs, vals, sum), nil
+		}
+		return nil, fmt.Errorf("seg: %s: range constraint on bool column", c.Attr)
+	case *engine.FloatColumn:
+		switch c.Kind {
+		case sdl.KindRange:
+			return engine.FilterFloatRangeChunkedBitmap(col, cs, engine.FloatRange{
+				Lo: c.Range.Lo.AsFloat(), Hi: c.Range.Hi.AsFloat(),
+				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
+			}, sum), nil
+		case sdl.KindSet:
+			vals := make([]float64, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsFloat()
+			}
+			return engine.FilterFloatSetChunkedBitmap(col, cs, vals, sum), nil
+		}
+	case engine.IntValued: // IntColumn and DateColumn
+		switch c.Kind {
+		case sdl.KindRange:
+			return engine.FilterIntRangeChunkedBitmap(col, cs, engine.IntRange{
+				Lo: c.Range.Lo.AsInt(), Hi: c.Range.Hi.AsInt(),
+				LoIncl: c.Range.LoIncl, HiIncl: c.Range.HiIncl,
+			}, sum), nil
+		case sdl.KindSet:
+			vals := make([]int64, len(c.Set))
+			for i, v := range c.Set {
+				vals[i] = v.AsInt()
+			}
+			return engine.FilterIntSetChunkedBitmap(col, cs, vals, sum), nil
 		}
 	}
 	return nil, fmt.Errorf("seg: %s: unsupported %v constraint on %v column", c.Attr, c.Kind, col.Kind())

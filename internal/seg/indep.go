@@ -119,10 +119,20 @@ type pairSide struct {
 }
 
 // buildSide gathers a segmentation's selections across the worker
-// pool and packs the chosen ones into bitmaps; the cell loop then
-// reuses them |other| times each. With a memo in the options the
-// assembled side is shared across every operator call of the advise
-// that mentions the same segmentation.
+// pool, each in exactly the representation the options choose for
+// it; the cell loop then reuses them |other| times each. Segment
+// counts are already recorded on the segmentation, so the density
+// decision needs no evaluation — a segment destined for the bitmap
+// representation is fetched through SelectBitmap, whose cache-miss
+// path fuses the final predicate scan into bitmap construction and
+// never materializes the row-id selection. The flat row-id view only
+// materializes for segments that stay vectors: the cell loop never
+// reads the vector side of a bitmap-packed segment, so flattening it
+// would be a pure O(|sel|) copy wasted. With a memo in the options
+// the assembled side is shared across every operator call of the
+// advise that mentions the same segmentation. Task errors are rare
+// but cancellation is not, and it must surface — or a half-built
+// side would be memoized as complete.
 func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, error) {
 	var memoKey string
 	if opt.Memo != nil {
@@ -133,38 +143,39 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 			return side, nil
 		}
 	}
-	css := make([]*engine.ChunkedSelection, len(s.Queries))
-	err := par.ForEachCtx(opt.Ctx, opt.Workers, len(s.Queries), func(i int) error {
+	n := len(s.Queries)
+	sels := make([]engine.Selection, n)
+	bms := make([]*engine.Bitmap, n)
+	nRows := ev.Table().NumRows()
+	// Counts normally mirror |R(Q_i)| by construction (Cut and
+	// Product record them); a hand-built segmentation without them
+	// falls back to evaluating before deciding the representation.
+	countsKnown := len(s.Counts) == n
+	err := par.ForEachCtx(opt.Ctx, opt.Workers, n, func(i int) error {
+		wantBitmap := opt.Rep == RepBitmap
+		if opt.Rep == RepAuto && countsKnown {
+			wantBitmap = engine.DenseEnough(s.Counts[i], nRows)
+		}
+		if wantBitmap {
+			bm, err := ev.SelectBitmap(s.Queries[i])
+			if err != nil {
+				return err
+			}
+			bms[i] = bm
+			return nil
+		}
 		cs, err := ev.SelectChunked(s.Queries[i])
 		if err != nil {
 			return err
 		}
-		css[i] = cs
+		if opt.Rep == RepAuto && !countsKnown && engine.DenseEnough(cs.Len(), nRows) {
+			bms[i] = ev.packedSelection(s.Queries[i], cs)
+		} else {
+			sels[i] = cs.Flat()
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
-	}
-	sels := make([]engine.Selection, len(css))
-	bms := make([]*engine.Bitmap, len(css))
-	nRows := ev.Table().NumRows()
-	// Packing is a linear pass per segment — memoized per query in
-	// the evaluator, since HB-cuts evaluates each candidate against
-	// O(n) partners per step. The flat row-id view only materializes
-	// for segments that stay vectors: the cell loop never reads the
-	// vector side of a bitmap-packed segment, so flattening it would
-	// be a pure O(|sel|) copy wasted. Task errors are impossible, so
-	// only cancellation can surface — and it must, or a half-packed
-	// side would be memoized as complete.
-	if err := par.ForEachCtx(opt.Ctx, opt.Workers, len(css), func(i int) error {
-		if opt.Rep == RepBitmap ||
-			(opt.Rep != RepVector && engine.DenseEnough(css[i].Len(), nRows)) {
-			bms[i] = ev.packedSelection(s.Queries[i], css[i])
-		} else {
-			sels[i] = css[i].Flat()
-		}
-		return nil
-	}); err != nil {
 		return nil, err
 	}
 	side := &pairSide{sels: sels, bms: bms}
@@ -196,13 +207,21 @@ func Product(ev *Evaluator, s1, s2 *Segmentation) (*Segmentation, error) {
 	return ProductOpt(ev, s1, s2, PairOptions{})
 }
 
+// prodCell is one (i, j) conjunction of the product's positional
+// merge buffer.
+type prodCell struct {
+	q     sdl.Query
+	count int
+}
+
 // ProductOpt implements the SDL product S1 × S2 (Definition 8):
 // every pairwise conjunction (Q1i, Q2j). Provably empty conjunctions
 // and pairs whose extents do not overlap are dropped, so the result
 // is a partition of the common context with strictly positive
 // counts. The cell loop fans out across opt.Workers; cells land in a
-// positional buffer and are merged in (i, j) order, so the output is
-// byte-identical to the sequential nested loop at every width.
+// pooled positional buffer and are merged in (i, j) order, so the
+// output is byte-identical to the sequential nested loop at every
+// width.
 func ProductOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (*Segmentation, error) {
 	opt = opt.normalize()
 	a, err := buildSide(ev, s1, opt)
@@ -214,11 +233,17 @@ func ProductOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (*Segmenta
 		return nil, err
 	}
 	n1, n2 := len(s1.Queries), len(s2.Queries)
-	type prodCell struct {
-		q     sdl.Query
-		count int
-	}
-	cells := make([]prodCell, n1*n2)
+	cellsPtr := prodCellScratch.Get(n1 * n2)
+	cells := *cellsPtr
+	// The loop below relies on zeroed cells (count == 0 means "pair
+	// dropped") and the queries parked in a recycled buffer must not
+	// outlive the call, so every buffer is cleared on its way back to
+	// the pool — which also means every get hands out zeroed memory
+	// (fresh allocations already are).
+	defer func() {
+		clear(cells)
+		prodCellScratch.Put(cellsPtr)
+	}()
 	err = par.ForEachCtx(opt.Ctx, opt.Workers, n1*n2, func(k int) error {
 		i, j := k/n2, k%n2
 		q, nonEmpty, err := sdl.Conjoin(s1.Queries[i], s2.Queries[j])
@@ -255,31 +280,40 @@ func CellCounts(ev *Evaluator, s1, s2 *Segmentation) ([][]int, error) {
 	return CellCountsOpt(ev, s1, s2, PairOptions{})
 }
 
-// CellCountsOpt returns the joint contingency table cells[i][j] =
-// |R(Q1i) ∩ R(Q2j)| — the raw material for both INDEP and the
-// chi-squared stopping rule. Each segmentation's selections are
-// gathered and packed once, then the cell loop fans out across
-// opt.Workers; every cell writes its own slot, so the table is
-// deterministic at every width.
-func CellCountsOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) ([][]int, error) {
-	opt = opt.normalize()
+// cellCountsInto fills flat (row-major, length n1×n2) with the joint
+// contingency table — the shared core of CellCounts, INDEP and the
+// chi-squared rule. Each segmentation's selections are gathered and
+// packed once, then the cell loop fans out across opt.Workers; every
+// cell writes its own slot, so the table is deterministic at every
+// width. Cell errors are impossible once both sides are built; only
+// cancellation can surface, and a cancelled table must not be read
+// as all-zero counts.
+func cellCountsInto(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions, flat []int) error {
 	a, err := buildSide(ev, s1, opt)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b, err := buildSide(ev, s2, opt)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	n1, n2 := len(a.sels), len(b.sels)
-	flat := make([]int, n1*n2)
-	// Cell errors are impossible once both sides are built; only
-	// cancellation can surface, and a cancelled table must not be
-	// read as all-zero counts.
-	if err := par.ForEachCtx(opt.Ctx, opt.Workers, n1*n2, func(k int) error {
+	n2 := len(s2.Queries)
+	return par.ForEachCtx(opt.Ctx, opt.Workers, len(flat), func(k int) error {
 		flat[k] = cellCount(a, k/n2, b, k%n2)
 		return nil
-	}); err != nil {
+	})
+}
+
+// CellCountsOpt returns the joint contingency table cells[i][j] =
+// |R(Q1i) ∩ R(Q2j)| — the raw material for both INDEP and the
+// chi-squared stopping rule. The returned table is caller-owned
+// fresh memory (never pooled); operators that consume the table
+// internally go through cellCountsInto with pooled scratch instead.
+func CellCountsOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) ([][]int, error) {
+	opt = opt.normalize()
+	n1, n2 := len(s1.Queries), len(s2.Queries)
+	flat := make([]int, n1*n2)
+	if err := cellCountsInto(ev, s1, s2, opt, flat); err != nil {
 		return nil, err
 	}
 	cells := make([][]int, n1)
@@ -299,13 +333,43 @@ func Indep(ev *Evaluator, s1, s2 *Segmentation) (float64, error) {
 // are independent, decreasing with the degree of dependence. By
 // convention it is 1 when both segmentations are degenerate
 // (E(S1)+E(S2) = 0), so degenerate candidates never win the
-// most-dependent-pair selection.
+// most-dependent-pair selection. The contingency table and its
+// marginals live in pooled scratch: a warm advise's INDEP loop
+// allocates nothing proportional to the cell grid.
 func IndepOpt(ev *Evaluator, s1, s2 *Segmentation, opt PairOptions) (float64, error) {
-	cells, err := CellCountsOpt(ev, s1, s2, opt)
-	if err != nil {
+	opt = opt.normalize()
+	n1, n2 := len(s1.Queries), len(s2.Queries)
+	flatPtr := cellScratch.Get(n1 * n2)
+	defer cellScratch.Put(flatPtr)
+	flat := *flatPtr
+	if err := cellCountsInto(ev, s1, s2, opt, flat); err != nil {
 		return 0, err
 	}
-	return IndepFromCells(cells), nil
+	return indepFromFlat(flat, n1, n2), nil
+}
+
+// indepFromFlat computes the INDEP quotient from a row-major flat
+// table, accumulating marginals in pooled scratch.
+func indepFromFlat(flat []int, n1, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	margPtr := cellScratch.Get(n1 + n2)
+	defer cellScratch.Put(margPtr)
+	marg := *margPtr
+	clear(marg)
+	rows, cols := marg[:n1], marg[n1:]
+	for i := 0; i < n1; i++ {
+		for j, c := range flat[i*n2 : (i+1)*n2] {
+			rows[i] += c
+			cols[j] += c
+		}
+	}
+	denom := stats.Entropy(rows) + stats.Entropy(cols)
+	if denom == 0 {
+		return 1
+	}
+	return stats.Entropy(flat) / denom
 }
 
 // IndepFromCells computes the INDEP quotient from a precomputed
@@ -314,21 +378,15 @@ func IndepFromCells(cells [][]int) float64 {
 	if len(cells) == 0 {
 		return 1
 	}
-	rows := make([]int, len(cells))
-	cols := make([]int, len(cells[0]))
-	flat := make([]int, 0, len(cells)*len(cells[0]))
+	n1, n2 := len(cells), len(cells[0])
+	flatPtr := cellScratch.Get(n1 * n2)
+	defer cellScratch.Put(flatPtr)
+	flat := *flatPtr
+	clear(flat) // recycled scratch; a short input row must read as zeros
 	for i, row := range cells {
-		for j, c := range row {
-			rows[i] += c
-			cols[j] += c
-			flat = append(flat, c)
-		}
+		copy(flat[i*n2:(i+1)*n2], row)
 	}
-	denom := stats.Entropy(rows) + stats.Entropy(cols)
-	if denom == 0 {
-		return 1
-	}
-	return stats.Entropy(flat) / denom
+	return indepFromFlat(flat, n1, n2)
 }
 
 // ChiSquareIndependent applies the Section 4.2 stopping rule with
@@ -340,13 +398,22 @@ func ChiSquareIndependent(ev *Evaluator, s1, s2 *Segmentation, alpha float64) (b
 // ChiSquareIndependentOpt applies the Section 4.2 suggestion of
 // statistical hypothesis testing as a stopping rule: it reports
 // whether the joint distribution of two segmentations is consistent
-// with independence at significance alpha.
+// with independence at significance alpha. Like IndepOpt it works in
+// pooled scratch end to end — the flat table and the float marginals
+// the chi-squared statistic needs.
 func ChiSquareIndependentOpt(ev *Evaluator, s1, s2 *Segmentation, alpha float64, opt PairOptions) (bool, error) {
-	cells, err := CellCountsOpt(ev, s1, s2, opt)
-	if err != nil {
+	opt = opt.normalize()
+	n1, n2 := len(s1.Queries), len(s2.Queries)
+	flatPtr := cellScratch.Get(n1 * n2)
+	defer cellScratch.Put(flatPtr)
+	flat := *flatPtr
+	if err := cellCountsInto(ev, s1, s2, opt, flat); err != nil {
 		return false, err
 	}
-	return stats.ChiSquareIndependent(cells, alpha), nil
+	margPtr := marginalScratch.Get(n1 + n2)
+	defer marginalScratch.Put(margPtr)
+	marg := *margPtr
+	return stats.ChiSquareIndependentFlat(flat, n1, n2, marg[:n1], marg[n1:], alpha), nil
 }
 
 // ValidatePartition checks Definition 3 exactly: the segments are

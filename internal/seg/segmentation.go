@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"charles/internal/sdl"
 	"charles/internal/stats"
@@ -18,6 +19,9 @@ import (
 //     restriction Section 5.2 acknowledges; the adaptive extension
 //     in internal/core relaxes it).
 //   - Counts[i] == |R(Queries[i])| and every count is positive.
+//   - A segmentation is immutable once built: Key caches the
+//     canonical identity on first computation, so fields must not be
+//     reassigned afterwards (build a new segmentation instead).
 type Segmentation struct {
 	// Queries are the segments, in deterministic order.
 	Queries []sdl.Query
@@ -26,6 +30,13 @@ type Segmentation struct {
 	CutAttrs []string
 	// Counts holds each segment's extent size, aligned with Queries.
 	Counts []int
+
+	// key is the lazily built canonical identity. The pair-side memo
+	// looks segmentations up by key once per operator call — O(n²)
+	// times per advise step — and rebuilding the concatenated query
+	// strings each time was the single largest steady-state
+	// allocation of the warm pairwise path.
+	key atomic.Pointer[string]
 }
 
 // Depth returns the number of segments — the "amount of information"
@@ -120,7 +131,12 @@ func (s *Segmentation) ComputeMetrics() Metrics {
 // distinct segmentations with the same attributes and depth —
 // different cut points or contexts — leaving ranked order among
 // tied candidates to chance.)
+// Concurrent first calls may build the key twice; the results are
+// identical and either pointer wins.
 func (s *Segmentation) Key() string {
+	if p := s.key.Load(); p != nil {
+		return *p
+	}
 	var b strings.Builder
 	b.WriteString(strings.Join(s.CutAttrs, ","))
 	b.WriteByte('#')
@@ -130,7 +146,9 @@ func (s *Segmentation) Key() string {
 		}
 		b.WriteString(q.Key())
 	}
-	return b.String()
+	key := b.String()
+	s.key.CompareAndSwap(nil, &key)
+	return *s.key.Load()
 }
 
 // String summarizes the segmentation for logs and errors.

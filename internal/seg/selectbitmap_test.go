@@ -1,0 +1,89 @@
+package seg
+
+import (
+	"reflect"
+	"testing"
+
+	"charles/internal/dataset"
+	"charles/internal/engine"
+	"charles/internal/sdl"
+)
+
+// selectBitmapQueries builds a spread of query shapes over VOC: the
+// unconstrained context, single nominal and numeric predicates, and
+// a multi-constraint conjunction (whose final predicate is the one
+// the fused path scans).
+func selectBitmapQueries(t *testing.T, tab *engine.Table) []sdl.Query {
+	t.Helper()
+	ctx := sdl.ContextAll(tab)
+	qString := ctx.WithConstraint(sdl.SetC("type_of_boat", engine.String_("fluit"), engine.String_("jacht")))
+	qRange := ctx.WithConstraint(sdl.RangeC("tonnage", engine.Int(100), engine.Int(700), true, false))
+	qConj := qRange.WithConstraint(sdl.SetC("departure_harbour", engine.String_("Texel")))
+	qEmpty := ctx.WithConstraint(sdl.SetC("type_of_boat", engine.String_("no-such-boat")))
+	return []sdl.Query{ctx, qString, qRange, qConj, qEmpty}
+}
+
+// TestSelectBitmapMatchesPacked pins the fused evaluation tier to
+// the pack-a-cached-selection tier: for every query shape,
+// SelectBitmap on a cold evaluator (fused scan), on a warm one
+// (cache hits), and with caching off must all equal packing the
+// chunked selection, bit for bit.
+func TestSelectBitmapMatchesPacked(t *testing.T) {
+	tab := dataset.VOC(3000, 5)
+	ref := NewEvaluator(tab)
+	for _, q := range selectBitmapQueries(t, tab) {
+		cs, err := ref.SelectChunked(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := engine.NewBitmapChunked(cs)
+
+		cold := NewEvaluator(tab)
+		fused, err := cold.SelectBitmap(q) // miss on both caches: fused scan
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused.Count() != want.Count() || !reflect.DeepEqual(fused.Selection(), want.Selection()) {
+			t.Fatalf("%s: fused bitmap differs from packed selection", q)
+		}
+		hit, err := cold.SelectBitmap(q) // bitmap cache hit
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != fused {
+			t.Fatalf("%s: repeated SelectBitmap did not serve the cached bitmap", q)
+		}
+
+		warm := NewEvaluator(tab)
+		if _, err := warm.SelectChunked(q); err != nil { // selection cached, bitmap not
+			t.Fatal(err)
+		}
+		packed, err := warm.SelectBitmap(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(packed.Selection(), want.Selection()) {
+			t.Fatalf("%s: pack-from-selection tier differs", q)
+		}
+
+		off := NewEvaluator(tab)
+		off.SetCaching(false)
+		uncached, err := off.SelectBitmap(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(uncached.Selection(), want.Selection()) {
+			t.Fatalf("%s: caching-off fused bitmap differs", q)
+		}
+	}
+}
+
+// TestSelectBitmapErrors mirrors the vector path's error contract.
+func TestSelectBitmapErrors(t *testing.T) {
+	tab := dataset.VOC(500, 5)
+	ev := NewEvaluator(tab)
+	bad := sdl.ContextAll(tab).WithConstraint(sdl.SetC("ghost", engine.String_("x")))
+	if _, err := ev.SelectBitmap(bad); err == nil {
+		t.Fatal("SelectBitmap on unknown column did not error")
+	}
+}

@@ -74,6 +74,70 @@ func ChiSquareIndependent(cells [][]int, alpha float64) bool {
 	return ChiSquarePValue(stat, dof) >= alpha
 }
 
+// ChiSquareFlat is ChiSquare over a row-major flat nRows×nCols count
+// vector — the layout the pairwise cell loop fills — so callers that
+// own a flat buffer never materialize the [][]int view. It mirrors
+// ChiSquare case for case; rowSum and colSum are caller-provided
+// scratch of length nRows and nCols (overwritten), letting hot
+// callers pool them.
+func ChiSquareFlat(flat []int, nRows, nCols int, rowSum, colSum []float64) (stat float64, dof int) {
+	if nRows == 0 || nCols == 0 {
+		return 0, 0
+	}
+	for i := range rowSum {
+		rowSum[i] = 0
+	}
+	for j := range colSum {
+		colSum[j] = 0
+	}
+	total := 0.0
+	for i := 0; i < nRows; i++ {
+		for j, c := range flat[i*nCols : (i+1)*nCols] {
+			rowSum[i] += float64(c)
+			colSum[j] += float64(c)
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	liveRows, liveCols := 0, 0
+	for _, s := range rowSum {
+		if s > 0 {
+			liveRows++
+		}
+	}
+	for _, s := range colSum {
+		if s > 0 {
+			liveCols++
+		}
+	}
+	if liveRows < 2 || liveCols < 2 {
+		return 0, 0
+	}
+	for i := 0; i < nRows; i++ {
+		if rowSum[i] == 0 {
+			continue
+		}
+		for j, c := range flat[i*nCols : (i+1)*nCols] {
+			if colSum[j] == 0 {
+				continue
+			}
+			expected := rowSum[i] * colSum[j] / total
+			d := float64(c) - expected
+			stat += d * d / expected
+		}
+	}
+	return stat, (liveRows - 1) * (liveCols - 1)
+}
+
+// ChiSquareIndependentFlat is ChiSquareIndependent over the flat
+// layout, with caller-pooled marginal scratch.
+func ChiSquareIndependentFlat(flat []int, nRows, nCols int, rowSum, colSum []float64, alpha float64) bool {
+	stat, dof := ChiSquareFlat(flat, nRows, nCols, rowSum, colSum)
+	return ChiSquarePValue(stat, dof) >= alpha
+}
+
 // upperRegularizedGamma computes Q(a, x) = Γ(a, x)/Γ(a) using the
 // series expansion for x < a+1 and the continued fraction otherwise
 // (Numerical Recipes §6.2 style, stdlib math only).
