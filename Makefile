@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet ci
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet docs-check ci
 
 all: build
 
@@ -30,14 +30,15 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Perf trajectory: the bench-smoke set with -benchmem, recorded as
-# op → ns/op + B/op + allocs/op JSON. CI uploads BENCH_5.json as an
-# artifact so future PRs have a baseline to diff against; bump the
-# number when the recording format changes materially. Two steps, not
-# a pipe: a pipe would report the converter's exit status and let a
-# failing benchmark slip through the CI gate.
+# op → ns/op + B/op + allocs/op JSON. CI uploads BENCH_6.json as an
+# artifact so future PRs have a baseline to diff against; the number
+# tracks the PR sequence so successive baselines never overwrite each
+# other in the artifact history. Two steps, not a pipe: a pipe would
+# report the converter's exit status and let a failing benchmark slip
+# through the CI gate.
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench-smoke.out
-	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > BENCH_5.json
+	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > BENCH_6.json
 	@rm -f bench-smoke.out
 
 # The 10M-row scale comparison (E17) plus the 1M-row chunked scan
@@ -56,4 +57,10 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test-race bench-json
+# Documentation gate: relative markdown links in README + docs/ must
+# resolve, and every §N the colfile code cites must be a heading in
+# docs/FORMAT.md (the spec's numbering is load-bearing).
+docs-check:
+	$(GO) test -run='TestDocs' .
+
+ci: fmt-check vet build test-race docs-check bench-json

@@ -9,6 +9,7 @@ package charles_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -704,5 +705,32 @@ func BenchmarkE17ScaleAdvise(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE20ColdStart measures the out-of-core start-up path: open
+// a 1M-row .chc columnar file via mmap (docs/FORMAT.md) and warm
+// every zone map from the persisted summary regions. This is the
+// charles-server boot sequence with -table, and the number the
+// format exists for — milliseconds instead of the seconds a CSV
+// parse or generator run costs at the same scale.
+func BenchmarkE20ColdStart(b *testing.B) {
+	const nRows = 1_000_000
+	path := filepath.Join(b.TempDir(), "voc1m.chc")
+	if err := charles.SaveColumnFile(path, table(b, "voc", nRows, 1), charles.ColumnFileOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := charles.OpenColumnFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warmed := tab.WarmSummaries(); warmed != tab.NumCols() {
+			b.Fatalf("warmed %d zone maps, want %d", warmed, tab.NumCols())
+		}
+		if err := tab.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -38,8 +38,22 @@ func main() {
 		asyncConc  = flag.Int("async-concurrency", 8, "async mode: concurrent clients")
 		asyncCtxs  = flag.String("async-contexts", "", "async mode: semicolon-separated SDL contexts to cycle (SDL itself uses commas; empty = whole-table context)")
 		asyncPoll  = flag.Duration("async-poll", 25*time.Millisecond, "async mode: poll interval")
+		tablePath  = flag.String("table", "", "open this .chc columnar file and report cold-start + first-advise timings")
+		tableCtx   = flag.String("table-context", "", "-table mode: SDL context to advise on (empty = all columns)")
+		workers    = flag.Int("workers", 0, "-table mode: advisor worker goroutines (0 = all CPUs)")
 	)
 	flag.Parse()
+	if *tablePath != "" {
+		if err := runTable(os.Stdout, tableOptions{
+			Path:    *tablePath,
+			Context: *tableCtx,
+			Workers: *workers,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "charles-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
 		return

@@ -1,0 +1,96 @@
+// Documentation checks, run by `make docs-check` (and plain go
+// test): every relative markdown link in README.md and docs/ must
+// resolve to a file in the repository, and every spec section the
+// colfile implementation cites (§N in comments, errors and tests)
+// must exist as a numbered heading in docs/FORMAT.md — the spec's
+// numbering is load-bearing, so this is what makes renumbering a
+// section a test failure instead of silent doc rot.
+package charles_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files the link check covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	more, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve fails on any relative markdown link whose
+// target file does not exist.
+func TestDocsLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsFormatSectionsExist cross-checks the §N citations in the
+// colfile implementation and its tests against docs/FORMAT.md's
+// numbered headings.
+func TestDocsFormatSectionsExist(t *testing.T) {
+	spec, err := os.ReadFile(filepath.Join("docs", "FORMAT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heading := regexp.MustCompile(`(?m)^#{2,3} ([0-9]+(?:\.[0-9]+)?)[. ]`)
+	sections := map[string]bool{}
+	for _, m := range heading.FindAllStringSubmatch(string(spec), -1) {
+		sections[m[1]] = true
+	}
+	if len(sections) == 0 {
+		t.Fatal("no numbered headings found in docs/FORMAT.md")
+	}
+
+	var sources []string
+	for _, pat := range []string{filepath.Join("internal", "colfile", "*.go"), "colfile_test.go"} {
+		got, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, got...)
+	}
+	if len(sources) < 2 {
+		t.Fatalf("expected colfile sources, found %v", sources)
+	}
+	cite := regexp.MustCompile(`§([0-9]+(?:\.[0-9]+)?)`)
+	for _, file := range sources {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range cite.FindAllStringSubmatch(string(body), -1) {
+			if !sections[m[1]] {
+				t.Errorf("%s cites §%s, which is not a heading in docs/FORMAT.md", file, m[1])
+			}
+		}
+	}
+}

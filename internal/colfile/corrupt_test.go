@@ -1,0 +1,234 @@
+package colfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestFile writes a small clean file and returns its bytes.
+func writeTestFile(t *testing.T) (path string, raw []byte) {
+	t.Helper()
+	tab := testTable(t, 700, 7)
+	path = filepath.Join(t.TempDir(), "corrupt"+Extension)
+	if err := Write(path, tab, WriteOptions{ChunkRows: 128}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// reopen writes raw under a fresh name and opens it, expecting an
+// error mentioning every fragment in wants. The loader contract
+// (§11) is: corrupt, truncated or wrong-version input fails with a
+// descriptive error — never a panic, never a silent mis-read.
+func expectOpenError(t *testing.T, raw []byte, wants ...string) {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bad"+Extension)
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(p)
+	if err == nil {
+		f.Close()
+		t.Fatalf("open succeeded on corrupt input, want error mentioning %q", wants)
+	}
+	for _, w := range wants {
+		if !strings.Contains(err.Error(), w) {
+			t.Fatalf("error %q does not mention %q", err, w)
+		}
+	}
+}
+
+// rewriteFooter parses raw's footer, applies mutate, and re-emits
+// the file with a consistent footer length, checksum and trailer —
+// so the corruption under test is the *semantic* one mutate applied,
+// not a checksum mismatch masking it.
+func rewriteFooter(t *testing.T, raw []byte, mutate func(*footer)) []byte {
+	t.Helper()
+	tr := raw[len(raw)-trailerSize:]
+	flen := int(binary.LittleEndian.Uint64(tr[0:8]))
+	fstart := len(raw) - trailerSize - flen
+	var ft footer
+	if err := json.Unmarshal(raw[fstart:fstart+flen], &ft); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&ft)
+	fj, err := json.Marshal(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), raw[:fstart]...)
+	out = append(out, fj...)
+	var ntr [trailerSize]byte
+	binary.LittleEndian.PutUint64(ntr[0:8], uint64(len(fj)))
+	binary.LittleEndian.PutUint32(ntr[8:12], crc32.ChecksumIEEE(fj))
+	copy(ntr[16:24], Magic)
+	return append(out, ntr[:]...)
+}
+
+func TestOpenRejectsNonColfile(t *testing.T) {
+	expectOpenError(t, []byte("this is not a column file, just some text padding to pass the size gate........."),
+		"magic", "not a colfile")
+}
+
+func TestOpenRejectsTruncatedFile(t *testing.T) {
+	_, raw := writeTestFile(t)
+	// Truncating anywhere inside the body chops the trailer off.
+	expectOpenError(t, raw[:len(raw)/2], "trailer magic")
+	// A file shorter than the fixed framing is reported as such.
+	expectOpenError(t, raw[:10], "fixed framing")
+}
+
+func TestOpenRejectsWrongVersion(t *testing.T) {
+	_, raw := writeTestFile(t)
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[8:12], 99)
+	expectOpenError(t, bad, "version 99", "supports only version 1")
+}
+
+func TestOpenRejectsUnknownFlags(t *testing.T) {
+	_, raw := writeTestFile(t)
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[12:16], 0x80)
+	expectOpenError(t, bad, "flags")
+}
+
+func TestOpenRejectsFooterCorruption(t *testing.T) {
+	_, raw := writeTestFile(t)
+	// Flip one byte inside the footer JSON: the checksum must catch it.
+	tr := raw[len(raw)-trailerSize:]
+	flen := int(binary.LittleEndian.Uint64(tr[0:8]))
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-trailerSize-flen/2] ^= 0xFF
+	expectOpenError(t, bad, "footer checksum mismatch")
+	// A footer length pointing past the start of the file.
+	bad = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(bad[len(bad)-trailerSize:][0:8], uint64(len(raw)))
+	expectOpenError(t, bad, "footer")
+}
+
+func TestOpenRejectsBadChunkRows(t *testing.T) {
+	_, raw := writeTestFile(t)
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.ChunkRows = 100 }),
+		"chunk width 100", "power of two")
+}
+
+func TestOpenRejectsRegionViolations(t *testing.T) {
+	_, raw := writeTestFile(t)
+	// Data region running past the footer.
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[0].Data.Offset = int64(len(raw)) }),
+		"outside the file body")
+	// Misaligned int64 region (§2).
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[0].Data.Offset += 4 }),
+		"aligned")
+	// Region length disagreeing with rows × element size (§5).
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Rows += 64 }),
+		"bytes, want")
+	// Two columns aliasing the same pages (§3).
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[1].Data = ft.Columns[0].Data }),
+		"overlap")
+}
+
+func TestOpenRejectsSchemaCorruption(t *testing.T) {
+	_, raw := writeTestFile(t)
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[1].Name = ft.Columns[0].Name }),
+		"duplicate column")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[0].Kind = "decimal" }),
+		"unknown kind")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns = nil }),
+		"no columns")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[0].PageCRCs = ft.Columns[0].PageCRCs[1:] }),
+		"page checksums")
+}
+
+func TestOpenRejectsDictionaryCorruption(t *testing.T) {
+	_, raw := writeTestFile(t)
+	var dictOff int64
+	rewriteFooter(t, raw, func(ft *footer) { dictOff = ft.Columns[3].Dict.Offset }) // harbour
+	bad := append([]byte(nil), raw...)
+	bad[dictOff+6] ^= 0xFF // a byte inside the first dictionary entry
+	expectOpenError(t, bad, "dictionary checksum mismatch")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[3].DictCount++ }),
+		"dictionary holds")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[3].Dict = nil }),
+		"no dictionary region")
+}
+
+func TestOpenRejectsBadBooleanBytes(t *testing.T) {
+	_, raw := writeTestFile(t)
+	var boolOff int64
+	rewriteFooter(t, raw, func(ft *footer) { boolOff = ft.Columns[5].Data.Offset }) // lost
+	bad := append([]byte(nil), raw...)
+	bad[boolOff+3] = 7
+	expectOpenError(t, bad, "boolean byte 0x07", "want 0 or 1")
+}
+
+func TestOpenRejectsSummaryCorruption(t *testing.T) {
+	_, raw := writeTestFile(t)
+	var sumOff int64
+	rewriteFooter(t, raw, func(ft *footer) { sumOff = ft.Columns[0].Summary.Offset })
+	bad := append([]byte(nil), raw...)
+	bad[sumOff] ^= 0xFF
+	expectOpenError(t, bad, "summary checksum mismatch")
+}
+
+// TestVerifyCatchesPageCorruption pins the Open/Verify split (§9):
+// a flipped byte inside a value page passes the structural checks at
+// Open — by design, Open reads no pages — and Verify reports it.
+func TestVerifyCatchesPageCorruption(t *testing.T) {
+	_, raw := writeTestFile(t)
+	var dataOff int64
+	rewriteFooter(t, raw, func(ft *footer) { dataOff = ft.Columns[0].Data.Offset })
+	bad := append([]byte(nil), raw...)
+	bad[dataOff+999] ^= 0x01
+	p := filepath.Join(t.TempDir(), "pagecorrupt"+Extension)
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(p)
+	if err != nil {
+		t.Fatalf("open should not read value pages, got: %v", err)
+	}
+	defer f.Close()
+	err = f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "page") || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("verify error = %v, want a page checksum mismatch", err)
+	}
+}
+
+// TestVerifyCatchesOutOfRangeCodes pins §5.3: codes beyond the
+// dictionary are caught by the deep verification pass.
+func TestVerifyCatchesOutOfRangeCodes(t *testing.T) {
+	_, raw := writeTestFile(t)
+	var codeOff int64
+	var ft0 footer
+	rewriteFooter(t, raw, func(ft *footer) { codeOff, ft0 = ft.Columns[3].Data.Offset, *ft })
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[codeOff+40:], 1<<30) // a code no dictionary has
+	// Restore the page CRC so only the range check can catch it —
+	// Verify must not rely on checksums alone.
+	pageBytes := ft0.ChunkRows * 4
+	page0 := bad[codeOff : codeOff+pageBytes]
+	bad = rewriteFooter(t, bad, func(ft *footer) { ft.Columns[3].PageCRCs[0] = crc32.ChecksumIEEE(page0) })
+	p := filepath.Join(t.TempDir(), "badcode"+Extension)
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(p)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	err = f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "beyond the") {
+		t.Fatalf("verify error = %v, want an out-of-range dictionary code", err)
+	}
+}

@@ -27,6 +27,13 @@ const minChunkRows = 64
 // rounding below from overflowing on absurd configured values.
 const maxChunkRows = 1 << 30
 
+// NormalizeChunkRows resolves a configured chunk width the way
+// SetChunkRows does: values < 1 mean the automatic default,
+// everything else is clamped to [64, 2^30] and rounded up to the
+// next power of two. Storage backends that persist per-chunk state
+// use it to agree with the table on the width before writing.
+func NormalizeChunkRows(n int) int { return normalizeChunkRows(n) }
+
 // normalizeChunkRows resolves a configured chunk width: values < 1
 // mean the automatic default, everything else is clamped to
 // [64, 2^30] and rounded up to the next power of two. Power-of-two
@@ -267,6 +274,15 @@ func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
 	}
 	if s := lay.summaries[i].Load(); s != nil {
 		return s
+	}
+	// Precomputed summaries first: a file-backed table ships zone
+	// maps for its native chunk width, which beats re-scanning the
+	// column (and faulting its pages in) just to rediscover them.
+	if t.backend != nil {
+		if s, ok := t.backend.ChunkSummary(i, lay.chunkRows); ok && s != nil {
+			lay.summaries[i].CompareAndSwap(nil, s)
+			return lay.summaries[i].Load()
+		}
 	}
 	s := t.buildSummary(lay, t.cols[i])
 	lay.summaries[i].CompareAndSwap(nil, s)

@@ -147,6 +147,23 @@ func NewStringColumn(name string, vals []string) *StringColumn {
 	return c
 }
 
+// NewStringColumnFromDict wraps an already dictionary-encoded
+// vector: codes index into dict (neither is copied). This is the
+// constructor storage backends use to rebuild a column from its
+// persisted encoding. Dictionary entries must be distinct; codes are
+// trusted to be in range — a file reader validates them via its own
+// integrity checks, not by scanning here.
+func NewStringColumnFromDict(name string, codes []uint32, dict []string) (*StringColumn, error) {
+	index := make(map[string]uint32, len(dict))
+	for i, v := range dict {
+		if _, dup := index[v]; dup {
+			return nil, fmt.Errorf("engine: column %q dictionary repeats value %q", name, v)
+		}
+		index[v] = uint32(i)
+	}
+	return &StringColumn{name: name, codes: codes, dict: dict, index: index}, nil
+}
+
 // Name implements Column.
 func (c *StringColumn) Name() string { return c.name }
 
@@ -207,6 +224,9 @@ func (c *BoolColumn) Value(row int) Value { return Bool(c.vals[row]) }
 
 // Bool returns the raw boolean at the given row.
 func (c *BoolColumn) Bool(row int) bool { return c.vals[row] }
+
+// Bools exposes the backing vector for column-at-a-time operators.
+func (c *BoolColumn) Bools() []bool { return c.vals }
 
 // validateColumn sanity-checks a column for table construction.
 func validateColumn(c Column) error {

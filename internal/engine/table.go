@@ -16,38 +16,22 @@ import (
 // is an addressing scheme over them, so row ids remain dense and
 // global.
 type Table struct {
-	name   string
-	cols   []Column
-	byName map[string]int
-	rows   int
+	name    string
+	cols    []Column
+	byName  map[string]int
+	rows    int
+	backend ColumnBackend
 
 	// layout is the current chunk design (width + per-column zone
 	// maps), swapped atomically as one unit by SetChunkRows.
 	layout atomic.Pointer[tableLayout]
 }
 
-// NewTable builds a table from columns, validating that names are
-// unique and non-empty and that all columns have the same length.
+// NewTable builds a table from in-memory columns, validating that
+// names are unique and non-empty and that all columns have the same
+// length. It is NewTableFromBackend over a MemoryBackend.
 func NewTable(name string, cols ...Column) (*Table, error) {
-	if len(cols) == 0 {
-		return nil, fmt.Errorf("engine: table %q has no columns", name)
-	}
-	t := &Table{name: name, cols: cols, byName: make(map[string]int, len(cols))}
-	t.rows = cols[0].Len()
-	for i, c := range cols {
-		if err := validateColumn(c); err != nil {
-			return nil, err
-		}
-		if c.Len() != t.rows {
-			return nil, fmt.Errorf("engine: column %q has %d rows, want %d", c.Name(), c.Len(), t.rows)
-		}
-		if _, dup := t.byName[c.Name()]; dup {
-			return nil, fmt.Errorf("engine: duplicate column %q", c.Name())
-		}
-		t.byName[c.Name()] = i
-	}
-	t.SetChunkRows(0)
-	return t, nil
+	return NewTableFromBackend(NewMemoryBackend(name, cols...))
 }
 
 // MustNewTable is NewTable that panics on error, for tests and
@@ -105,3 +89,17 @@ func (t *Table) MustColumn(name string) Column {
 
 // All returns a selection covering every row of the table.
 func (t *Table) All() Selection { return AllRows(t.rows) }
+
+// Backend returns the storage backend the table's columns live in.
+func (t *Table) Backend() ColumnBackend { return t.backend }
+
+// Close releases the table's storage backend. For memory-backed
+// tables it is a no-op; for file-backed tables it unmaps the file,
+// after which no column of the table may be touched again. Close a
+// table only once nothing is advising on it.
+func (t *Table) Close() error {
+	if t.backend == nil {
+		return nil
+	}
+	return t.backend.Close()
+}

@@ -1,10 +1,19 @@
-// Package engine is the in-memory columnar storage substrate Charles
-// runs on. It plays the role MonetDB plays in the paper: it stores
-// one relation as typed column vectors and supports the two
-// operations the advisor needs — counts over conjunctive predicates
-// and medians/quantiles within a selection — with column-at-a-time
-// execution. A deliberately naive row-store executor is included so
-// the paper's column-vs-row claim (Section 5.1) can be measured.
+// Package engine is the columnar storage substrate Charles runs on.
+// It plays the role MonetDB plays in the paper: it stores one
+// relation as typed column vectors and supports the two operations
+// the advisor needs — counts over conjunctive predicates and
+// medians/quantiles within a selection — with column-at-a-time
+// execution over power-of-two row-range chunks and per-chunk zone
+// maps. A deliberately naive row-store executor is included so the
+// paper's column-vs-row claim (Section 5.1) can be measured.
+//
+// Where the column bytes live is abstracted behind ColumnBackend:
+// MemoryBackend holds ordinary Go slices, and internal/colfile
+// serves zero-copy views over a memory-mapped columnar file together
+// with its persisted zone maps (docs/FORMAT.md). Everything above
+// the backend seam — filters, medians, chunk pruning, the advisor —
+// is identical for both, which the round-trip tests pin by comparing
+// rendered advise output byte for byte.
 package engine
 
 import (

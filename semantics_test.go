@@ -1,0 +1,62 @@
+// Pinning tests for the documented query-semantics corner cases in
+// README.md ("Semantics notes"). These intentionally freeze observable
+// behaviour that is surprising but deliberate; if one fails, either a
+// semantics change slipped in or the README needs rewriting first.
+package charles_test
+
+import (
+	"math"
+	"testing"
+
+	"charles"
+	"charles/internal/engine"
+)
+
+// TestNaNPiecesUnderCoverFloatFallback pins the NaN under-coverage
+// note from README.md: when the nominal fallback cuts a skewed float
+// column that contains NaN rows, NaN is counted as one nominal value
+// and lands in some piece's set constraint — but set constraints
+// never match NaN at evaluation time, so the pieces cover exactly
+// the non-NaN extent and their counts sum to strictly less than the
+// parent context's count.
+func TestNaNPiecesUnderCoverFloatFallback(t *testing.T) {
+	const n = 2000
+	vals := make([]float64, n)
+	nan := 0
+	for i := range vals {
+		switch {
+		case i%40 == 0: // ~2.5% NaN rows
+			vals[i] = math.NaN()
+			nan++
+		case i%25 == 0: // rare tail value
+			vals[i] = 4.25
+		default: // ~92% majority value: collapses the equi-depth cut
+			vals[i] = 2.0
+		}
+	}
+	tab := engine.MustNewTable("pings",
+		engine.NewFloatColumn("latency", vals),
+	)
+	adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+	res, err := adv.AdviseString("(latency:)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segmentations) == 0 {
+		t.Fatal("no segmentation produced for skewed float column")
+	}
+	seg := res.Segmentations[0].Seg
+	if len(seg.CutAttrs) != 1 || seg.CutAttrs[0] != "latency" {
+		t.Fatalf("first answer cut on %v, want [latency]", seg.CutAttrs)
+	}
+	covered := 0
+	for _, c := range seg.Counts {
+		covered += c
+	}
+	if covered >= tab.NumRows() {
+		t.Fatalf("pieces cover %d of %d rows; expected NaN rows to be excluded", covered, tab.NumRows())
+	}
+	if got, want := tab.NumRows()-covered, nan; got != want {
+		t.Fatalf("under-coverage is %d rows, want exactly the %d NaN rows", got, want)
+	}
+}
