@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards the PR 4 cancellation plumbing: library packages
+// must propagate the caller's context, not mint their own. A
+// `context.Background()` call deep in the engine silently detaches a
+// subtree of work from the cancel signal `charles.AdviseCtx`
+// promises to honour, and a context parameter that a function
+// accepts but never consults is the same bug one refactor later.
+// Detaching is occasionally correct (the jobs manager deliberately
+// outlives its submitters) — such sites carry a `//lint:ctxflow`
+// justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "library packages must thread the incoming context: no " +
+		"context.Background()/TODO() calls, no accepted-but-unused ctx parameters",
+	Applies: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"charles/internal/core",
+			"charles/internal/seg",
+			"charles/internal/engine",
+			"charles/internal/jobs",
+			"charles/internal/par",
+			"charles/internal/stats",
+			"charles/internal/colfile",
+			"charles/internal/pool",
+		)
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := contextConstructor(pass, n); ok {
+					pass.Reportf(n.Pos(),
+						"call to context.%s in a library package detaches work from the caller's cancel signal; thread the incoming ctx instead", name)
+				}
+			case *ast.FuncDecl:
+				checkDroppedCtx(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// contextConstructor reports whether call is context.Background() or
+// context.TODO().
+func contextConstructor(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// checkDroppedCtx flags a named context.Context parameter that the
+// function body never reads: the caller handed over a cancel signal
+// and the function dropped it on the floor.
+func checkDroppedCtx(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok || !isContextType(obj.Type()) {
+				continue
+			}
+			if !identUsed(pass, fd.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"context.Context parameter %q is accepted but never used: the cancel signal stops here", name.Name)
+			}
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func identUsed(pass *Pass, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,202 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"charles/internal/lint"
+)
+
+// The fixture harness mirrors x/tools' analysistest: every fixture
+// file under testdata/src/<analyzer> marks each expected finding
+// with a trailing `// want "regexp"` comment, and the test fails on
+// missing findings, unexpected findings, and mismatched messages
+// alike. Suppression sites carry a //lint: comment and no want —
+// proving the justification escape actually silences the analyzer.
+
+// sharedLoader type-checks all fixtures through one source importer
+// so the standard library and the module's own packages are checked
+// once per test binary, not once per fixture.
+var sharedLoader = sync.OnceValue(lint.NewLoader)
+
+type want struct {
+	rx      *regexp.Regexp
+	line    int
+	file    string
+	matched bool
+}
+
+// parseWants scans a fixture directory for `// want "rx"` comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxWant := regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+	var wants []*want
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := rxWant.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			quoted, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want %s: %v", e.Name(), line, m[1], err)
+			}
+			rx, err := regexp.Compile(quoted)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, quoted, err)
+			}
+			wants = append(wants, &want{rx: rx, line: line, file: e.Name()})
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzer, and
+// checks its diagnostics against the fixture's wants exactly.
+func runFixture(t *testing.T, a *lint.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := sharedLoader().Load(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments: it cannot prove the analyzer fires", name)
+	}
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", base, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T)        { runFixture(t, lint.CtxFlow, "ctxflow") }
+func TestNoPanicFixture(t *testing.T)        { runFixture(t, lint.NoPanic, "nopanic") }
+func TestPooledEscapeFixture(t *testing.T)   { runFixture(t, lint.PooledEscape, "pooledescape") }
+func TestMapDeterminismFixture(t *testing.T) { runFixture(t, lint.MapDeterminism, "mapdeterminism") }
+func TestMmapLifeFixture(t *testing.T)       { runFixture(t, lint.MmapLife, "mmaplife") }
+
+// TestFixtureForEveryAnalyzer pins the suite non-vacuous as it
+// grows: an analyzer without a fixture directory cannot prove it
+// ever fires.
+func TestFixtureForEveryAnalyzer(t *testing.T) {
+	for _, a := range lint.All() {
+		if _, err := os.Stat(filepath.Join("testdata", "src", a.Name)); err != nil {
+			t.Errorf("analyzer %s has no fixture under testdata/src: %v", a.Name, err)
+		}
+	}
+}
+
+// TestAnalyzerScopes pins each analyzer's package applicability: the
+// invariants guard specific layers, and a scoping regression would
+// silently stop checking them.
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		pkg      string
+		applies  bool
+	}{
+		{lint.CtxFlow, "charles/internal/core", true},
+		{lint.CtxFlow, "charles/internal/jobs", true},
+		{lint.CtxFlow, "charles/cmd/charles-server", false}, // binaries own their root ctx
+		{lint.NoPanic, "charles/internal/colfile", true},
+		{lint.NoPanic, "charles/internal/engine", false},
+		{lint.PooledEscape, "charles/internal/engine", true},
+		{lint.PooledEscape, "charles/internal/pool", false}, // the wrapper defines the contract
+		{lint.MapDeterminism, "charles", true},
+		{lint.MapDeterminism, "charles/internal/seg", true},
+		{lint.MapDeterminism, "charles/internal/harness", false},
+		{lint.MmapLife, "charles/internal/engine", true},
+		{lint.MmapLife, "charles/cmd/charles-server", true},
+		{lint.MmapLife, "charles/internal/colfile", false}, // it hands the views out
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Applies(c.pkg); got != c.applies {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.applies)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "ctxflow", Message: "dropped ctx"}
+	d.Pos.Filename = "a.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, wanted := d.String(), "a.go:3:7: ctxflow: dropped ctx"; got != wanted {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, wanted)
+	}
+}
+
+func TestModulePackagesFindsTheModule(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.ModulePackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]bool{}
+	for _, ip := range pkgs {
+		byPath[ip] = true
+	}
+	for _, wanted := range []string{"charles", "charles/internal/lint", "charles/internal/colfile", "charles/cmd/charles-lint"} {
+		if !byPath[wanted] {
+			t.Errorf("ModulePackages missed %s (got %d packages)", wanted, len(pkgs))
+		}
+	}
+	if byPath["charles/internal/lint/testdata/src/ctxflow"] {
+		t.Error("ModulePackages must skip testdata")
+	}
+}
+
+func ExampleDiagnostic() {
+	d := lint.Diagnostic{Analyzer: "mapdeterminism", Message: "iteration order of map m can leak into ranked output"}
+	d.Pos.Filename = "internal/seg/cut.go"
+	d.Pos.Line = 280
+	d.Pos.Column = 2
+	fmt.Println(d)
+	// Output: internal/seg/cut.go:280:2: mapdeterminism: iteration order of map m can leak into ranked output
+}

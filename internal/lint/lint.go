@@ -1,0 +1,178 @@
+// Package lint is the repo's custom static-analysis suite: a small
+// stdlib-only framework (go/parser + go/types, no external modules —
+// the build environment is offline) plus the analyzers that encode
+// this codebase's load-bearing invariants. Each analyzer machine-
+// checks a guarantee that previously lived only in prose and pinned
+// tests:
+//
+//	ctxflow         — cancellation is threaded end to end (PR 4)
+//	nopanic         — untrusted .chc input fails with errors (PR 6)
+//	pooledescape    — pooled scratch never leaks or escapes (PR 5)
+//	mapdeterminism  — ranked output is byte-identical (PR 2)
+//	mmaplife        — mmap views are not retained past Close (PR 6)
+//
+// The framework deliberately mirrors the golang.org/x/tools
+// go/analysis shape (Analyzer, Pass, Reportf, testdata fixtures with
+// `// want` expectations) so the suite can be ported onto the real
+// multichecker wholesale if the dependency ever becomes available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. It is the stdlib mirror of
+// x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments.
+	Name string
+	// Doc is the one-paragraph description shown by charles-lint.
+	Doc string
+	// Suppress lists the comment tokens that silence a finding at a
+	// site: a `//lint:<token> <why>` comment on the flagged line or
+	// the line above. The analyzer's own name is always accepted;
+	// entries here add aliases (mapdeterminism accepts the
+	// historically-promised `//lint:deterministic`).
+	Suppress []string
+	// Applies reports whether the analyzer runs on a package, by
+	// import path. Nil means every package.
+	Applies func(pkgPath string) bool
+	// Run performs the analysis, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a suppression comment
+// covers the site. Suppressions are deliberate, reviewed escapes:
+// `//lint:<name> <justification>` on the same line or the line
+// immediately above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a `//lint:<token>` comment for this
+// analyzer sits on pos's line or the line above it.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	tokens := append([]string{p.Analyzer.Name}, p.Analyzer.Suppress...)
+	target := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != target.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Pos()).Line
+				if line != target.Line && line != target.Line-1 {
+					continue
+				}
+				if tok, ok := suppressToken(c.Text); ok {
+					for _, want := range tokens {
+						if tok == want {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// suppressToken extracts the token of a `//lint:<token> ...` comment.
+func suppressToken(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// RunAnalyzer executes one analyzer over a loaded package and
+// returns its findings sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// All returns the full analyzer suite in reporting order. cmd/
+// charles-lint registers exactly this list; the registry test pins
+// it against the set of invariants docs/ARCHITECTURE.md documents.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFlow, NoPanic, PooledEscape, MapDeterminism, MmapLife}
+}
+
+// pathIn reports whether pkgPath is one of (or a child of) the given
+// module-relative package paths.
+func pathIn(pkgPath string, paths ...string) bool {
+	for _, p := range paths {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapDeterminism guards the byte-identical-output guarantee (PR 2):
+// advise output is pinned identical at every worker count, and map
+// iteration order is the classic way nondeterminism sneaks back in.
+// In the packages that feed ranked output, a `range` over a map is
+// flagged unless one of three things holds: the loop body is a pure
+// commutative merge (counters, `+=` accumulators, map-to-map
+// copies), the enclosing function sorts its results after the loop,
+// or the site carries a reviewed `//lint:deterministic`
+// justification.
+var MapDeterminism = &Analyzer{
+	Name:     "mapdeterminism",
+	Suppress: []string{"deterministic"},
+	Doc: "map iteration in ranked-output packages must be sorted, " +
+		"commutative, or justified with //lint:deterministic",
+	Applies: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"charles",
+			"charles/internal/core",
+			"charles/internal/seg",
+			"charles/internal/stats",
+			"charles/internal/engine",
+			"charles/internal/ui",
+		) && !pathIn(pkgPath, "charles/internal/lint", "charles/cmd", "charles/examples",
+			"charles/internal/harness", "charles/internal/dataset", "charles/internal/baseline")
+	},
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, found := pass.Info.Types[rng.X]
+				if !found {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if commutativeBody(pass, rng) || sortsAfter(pass, fd, rng.End()) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"iteration order of map %s can leak into ranked output: sort the loop's results or justify with //lint:deterministic",
+					types.ExprString(rng.X))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// commutativeBody reports whether every statement in the range body
+// is order-independent: counters, commutative compound assignments
+// (`+=`, `-=`, `*=`, `|=`, `&=`, `^=`), map-entry writes whose value
+// depends only on the iteration variables, deletes from another map,
+// and ifs over the iteration variables wrapping more of the same.
+func commutativeBody(pass *Pass, rng *ast.RangeStmt) bool {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	// Variables written inside the body are loop-carried state: an
+	// expression reading one is order-dependent. Everything else a
+	// body expression reads is loop-invariant and therefore safe.
+	mutated := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						mutated[obj] = true
+					}
+					if obj := pass.Info.Uses[id]; obj != nil {
+						mutated[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					mutated[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	orderFree := func(e ast.Expr) bool {
+		return onlyOrderFreeRefs(pass, e, rangeVars, mutated)
+	}
+	var okStmt func(s ast.Stmt) bool
+	okStmt = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return true
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				return true
+			case token.ASSIGN:
+				// m[k] = f(range vars): same final map whatever the
+				// order, as long as the value can't see loop state.
+				for i, lhs := range s.Lhs {
+					ix, ok := lhs.(*ast.IndexExpr)
+					if !ok {
+						return false
+					}
+					tv, found := pass.Info.Types[ix.X]
+					if !found {
+						return false
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return false
+					}
+					if i < len(s.Rhs) && !orderFree(s.Rhs[i]) {
+						return false
+					}
+					if !orderFree(ix.Index) {
+						return false
+					}
+				}
+				return true
+			}
+			return false
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			b, ok := pass.Info.Uses[id].(*types.Builtin)
+			return ok && b.Name() == "delete"
+		case *ast.IfStmt:
+			if s.Init != nil || !orderFree(s.Cond) {
+				return false
+			}
+			if !okStmt(s.Body) {
+				return false
+			}
+			return s.Else == nil || okStmt(s.Else)
+		case *ast.BlockStmt:
+			for _, inner := range s.List {
+				if !okStmt(inner) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return s.Tok == token.CONTINUE && s.Label == nil
+		default:
+			return false
+		}
+	}
+	return okStmt(rng.Body)
+}
+
+// onlyOrderFreeRefs reports whether e's value is the same whichever
+// iteration order delivers (k, v): it may read the iteration
+// variables, constants, types and loop-invariant variables, but not
+// loop-carried (mutated) state, and may not call functions — except
+// type conversions, which are pure.
+func onlyOrderFreeRefs(pass *Pass, e ast.Expr, rangeVars, mutated map[types.Object]bool) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion: pure, keep inspecting args
+			}
+			pure = false
+			return false
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			switch obj := obj.(type) {
+			case *types.Var:
+				if mutated[obj] && !rangeVars[obj] {
+					pure = false
+				}
+			case *types.Const, *types.TypeName, *types.Nil, *types.PkgName, *types.Builtin:
+				_ = obj
+			case *types.Func:
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// sortsAfter reports whether fd calls a sort.* or slices.Sort* /
+// slices.Compact* style ordering function positioned after end — the
+// "collect then sort" idiom that makes a map walk deterministic.
+func sortsAfter(pass *Pass, fd *ast.FuncDecl, end token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < end {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(fn.Name(), "Sort") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

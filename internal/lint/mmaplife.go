@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MmapLife guards the zero-copy lifetime contract of the out-of-core
+// storage (PR 6): column vectors handed out by a colfile-backed
+// ColumnBackend alias a read-only memory mapping and become invalid
+// the instant the backend is closed — touching one afterwards is a
+// SIGSEGV, not an error. Local use is fine; what this analyzer
+// forbids is *retention*: storing a backend-provided column into a
+// struct field, package-level variable or composite literal, where
+// nothing ties its lifetime to the mapping. The one sanctioned
+// retainer is engine.Table, whose Close closes the backend — that
+// site carries the reviewed `//lint:mmaplife` justification.
+var MmapLife = &Analyzer{
+	Name: "mmaplife",
+	Doc: "columns handed out by a ColumnBackend alias an mmap and must " +
+		"not be retained in long-lived structs past Close",
+	Applies: func(pkgPath string) bool {
+		return pkgPath != "charles/internal/colfile"
+	},
+	Run: runMmapLife,
+}
+
+// viewSources are the methods whose results alias backend storage.
+// The interface method covers every implementation, so a new
+// mmap-backed backend is guarded the day it is written.
+var viewSources = map[string]bool{
+	"(*charles/internal/colfile.File).Column":        true,
+	"(charles/internal/engine.ColumnBackend).Column": true,
+}
+
+func runMmapLife(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMmapFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkMmapFunc(pass *Pass, fd *ast.FuncDecl) {
+	isViewCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		return ok && viewSources[fn.FullName()]
+	}
+
+	tracked := map[types.Object]bool{}
+	trackAliases(pass, fd.Body, tracked, isViewCall)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if !isViewCall(rhs) && len(aliasObjects(pass, rhs, tracked)) == 0 {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if desc, bad := longLivedLHS(pass, lhs); bad {
+						pass.Reportf(n.Pos(),
+							"backend column view retained in %s: the view aliases an mmap and dies with the backend's Close; justify with //lint:mmaplife if the struct's lifetime is tied to the backend", desc)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isViewCall(v) {
+					pass.Reportf(v.Pos(),
+						"backend column view stored into a composite literal: the view aliases an mmap and dies with the backend's Close")
+					continue
+				}
+				for _, obj := range aliasObjects(pass, v, tracked) {
+					pass.Reportf(v.Pos(),
+						"backend column view %q stored into a composite literal: the view aliases an mmap and dies with the backend's Close", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NoPanic guards the untrusted-input contract of the .chc reader
+// (docs/FORMAT.md §11, pinned by the corruption suite): a corrupt,
+// truncated or hostile file must surface as a descriptive error,
+// never as a panic. The corruption tests only exercise mutations
+// someone thought of; this analyzer closes the gap by proving that
+// no explicit panic, log.Fatal* or os.Exit is statically reachable
+// from the package's exported API through same-package calls.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "no panic/log.Fatal/os.Exit reachable from the exported API of the " +
+		".chc read/verify path: untrusted input must fail with errors",
+	Applies: func(pkgPath string) bool {
+		return pathIn(pkgPath, "charles/internal/colfile")
+	},
+	Run: runNoPanic,
+}
+
+type panicSink struct {
+	pos  token.Pos
+	desc string
+}
+
+type funcFacts struct {
+	callees []*types.Func
+	sinks   []panicSink
+}
+
+func runNoPanic(pass *Pass) error {
+	facts := map[*types.Func]*funcFacts{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts[fn] = collectFuncFacts(pass, fd)
+			if fd.Name.IsExported() {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	reported := map[token.Pos]bool{}
+	for _, root := range roots {
+		seen := map[*types.Func]bool{}
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			if seen[fn] {
+				return
+			}
+			seen[fn] = true
+			ff := facts[fn]
+			if ff == nil {
+				return
+			}
+			for _, s := range ff.sinks {
+				if !reported[s.pos] {
+					reported[s.pos] = true
+					pass.Reportf(s.pos,
+						"%s is reachable from exported %s: the read/verify path handles untrusted input and must return an error",
+						s.desc, root.Name())
+				}
+			}
+			for _, callee := range ff.callees {
+				visit(callee)
+			}
+		}
+		visit(root)
+	}
+	return nil
+}
+
+// collectFuncFacts records fd's same-package callees and its panic
+// sites. Function literals inside fd count as part of fd: a panic in
+// a closure the function runs (or registers as a callback) is just
+// as reachable.
+func collectFuncFacts(pass *Pass, fd *ast.FuncDecl) *funcFacts {
+	ff := &funcFacts{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			switch obj := pass.Info.Uses[fun].(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					ff.sinks = append(ff.sinks, panicSink{call.Pos(), "panic"})
+				}
+			case *types.Func:
+				if obj.Pkg() == pass.Pkg {
+					ff.callees = append(ff.callees, obj)
+				}
+			}
+		case *ast.SelectorExpr:
+			fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() == pass.Pkg {
+				ff.callees = append(ff.callees, fn)
+				return true
+			}
+			if desc, bad := fatalCall(fn); bad {
+				ff.sinks = append(ff.sinks, panicSink{call.Pos(), desc})
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+// fatalCall reports whether fn is a process-terminating call from
+// another package: log.Fatal*, log.Panic* or os.Exit.
+func fatalCall(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "log":
+		if len(name) >= 5 && (name[:5] == "Fatal" || name[:5] == "Panic") {
+			return "log." + name, true
+		}
+	case "os":
+		if name == "Exit" {
+			return "os.Exit", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledEscape guards the PR 5 alloc budget: scratch buffers drawn
+// from a pool (internal/pool.Slice or a raw sync.Pool) are only a
+// win if every Get is matched by a Put and no pooled memory leaks
+// into state that outlives the call. Within each function it checks
+// three things: a Get whose buffer is neither Put back nor handed to
+// the caller is a leak (the pool silently degrades to make); a
+// pooled pointer escaping via a return value is an ownership
+// transfer that must be a reviewed, justified idiom; and a pooled
+// pointer stored into a struct field, package-level variable or
+// composite literal is retained state that a later Put will
+// corrupt. internal/pool itself is exempt — it is the wrapper that
+// defines the contract.
+var PooledEscape = &Analyzer{
+	Name: "pooledescape",
+	Doc: "pool.Get results must be Put back; pooled buffers must not " +
+		"escape via returns, struct stores or globals without justification",
+	Applies: func(pkgPath string) bool {
+		return pkgPath != "charles/internal/pool" && pathIn(pkgPath, "charles/internal", "charles")
+	},
+	Run: runPooledEscape,
+}
+
+func runPooledEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// poolCall classifies call as a Get or Put on a pool, returning the
+// receiver's textual key ("int64Scratch", "sp.p") used to pair them.
+func poolCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	if method != "Get" && method != "Put" {
+		return "", "", false
+	}
+	tv, found := pass.Info.Types[sel.X]
+	if !found || !isPoolType(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}
+
+// isPoolType reports whether t is sync.Pool, internal/pool.Slice, or
+// a pointer to either.
+func isPoolType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "sync" && obj.Name() == "Pool":
+		return true
+	case obj.Pkg().Path() == "charles/internal/pool" && obj.Name() == "Slice":
+		return true
+	}
+	return false
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	type getSite struct {
+		key  string
+		call *ast.CallExpr
+	}
+	var gets []getSite
+	puts := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, method, ok := poolCall(pass, call); ok {
+				if method == "Get" {
+					gets = append(gets, getSite{key, call})
+				} else {
+					puts[key] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(gets) == 0 && len(puts) == 0 {
+		return
+	}
+
+	// Variables aliasing pooled memory: bound from Get directly or
+	// through aliasing expressions (b := v.(*[]T), vals := (*p)[:0]).
+	tracked := map[types.Object]bool{}
+	isGet := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		_, method, ok := poolCall(pass, call)
+		return ok && method == "Get"
+	}
+	trackAliases(pass, fd.Body, tracked, isGet)
+
+	// Escapes: pooled aliases in return values, long-lived stores,
+	// and composite literals.
+	returned := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for _, obj := range aliasObjects(pass, res, tracked) {
+					returned = true
+					pass.Reportf(n.Pos(),
+						"pooled buffer %q escapes via return value: ownership transfer to the caller must be a justified idiom", obj.Name())
+				}
+				if isGet(res) {
+					returned = true
+					pass.Reportf(n.Pos(), "pool Get result returned directly: ownership transfer to the caller must be a justified idiom")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if len(aliasObjects(pass, rhs, tracked)) == 0 && !isGet(rhs) {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if desc, bad := longLivedLHS(pass, lhs); bad {
+						pass.Reportf(n.Pos(),
+							"pooled buffer stored into %s: pooled scratch must not outlive the call", desc)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				for _, obj := range aliasObjects(pass, v, tracked) {
+					pass.Reportf(v.Pos(),
+						"pooled buffer %q escapes into a composite literal: pooled scratch must not outlive the call", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	// Leak check: a Get on a pool with no Put anywhere in the body is
+	// only fine when the function's contract is to hand the buffer
+	// back to the caller (some pooled alias is returned).
+	for _, g := range gets {
+		if !puts[g.key] && !returned {
+			pass.Reportf(g.call.Pos(),
+				"pool %s is Get from but never Put back in this function, and no pooled buffer is returned: the buffer leaks and the pool degrades to make", g.key)
+		}
+	}
+}

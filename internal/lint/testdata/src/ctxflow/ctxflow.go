@@ -1,0 +1,37 @@
+// Package ctxflow is the analysistest fixture for the ctxflow
+// analyzer: flagged sites carry `// want`, clean idioms carry
+// nothing, and one site demonstrates the justification escape.
+package ctxflow
+
+import "context"
+
+func detach() context.Context {
+	return context.Background() // want "call to context.Background"
+}
+
+func todo() context.Context {
+	ctx := context.TODO() // want "call to context.TODO"
+	return ctx
+}
+
+func dropped(ctx context.Context, n int) int { // want "accepted but never used"
+	return n * 2
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func blankIsFine(_ context.Context, n int) int {
+	return n + 1
+}
+
+func justified() context.Context {
+	//lint:ctxflow fixture: deliberate detach, lifecycle owned by this component
+	return context.Background()
+}

@@ -1,0 +1,69 @@
+// Package mapdeterminism is the analysistest fixture for the
+// mapdeterminism analyzer: order-leaking map walks are flagged;
+// sorted collection, commutative merges, map-to-map copies and
+// justified sites are not.
+package mapdeterminism
+
+import "sort"
+
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration order of map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func histogram(m map[string]int, limit int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v < limit {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func firstMatch(m map[string]int) string {
+	best := ""
+	for k, v := range m { // want "iteration order of map"
+		if v > 3 {
+			best = k
+		}
+	}
+	return best
+}
+
+func justified(m map[string]int) []string {
+	var keys []string
+	//lint:deterministic fixture: the consumer re-sorts before ranking
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

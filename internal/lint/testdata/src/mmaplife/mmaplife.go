@@ -1,0 +1,40 @@
+// Package mmaplife is the analysistest fixture for the mmaplife
+// analyzer: retaining a backend-provided column in a struct or
+// composite literal is flagged; scoped local use and the justified
+// sanctioned-retainer idiom are not.
+package mmaplife
+
+import "charles/internal/engine"
+
+type holder struct {
+	col engine.Column
+}
+
+func retain(b engine.ColumnBackend) *holder {
+	h := &holder{}
+	h.col = b.Column(0) // want "retained in struct field"
+	return h
+}
+
+func retainAlias(b engine.ColumnBackend) *holder {
+	c := b.Column(0)
+	h := &holder{}
+	h.col = c // want "retained in struct field"
+	return h
+}
+
+func retainLit(b engine.ColumnBackend) holder {
+	return holder{col: b.Column(0)} // want "stored into a composite literal"
+}
+
+func scopedUse(b engine.ColumnBackend) int {
+	c := b.Column(0)
+	return c.Len()
+}
+
+func justified(b engine.ColumnBackend) *holder {
+	h := &holder{}
+	//lint:mmaplife fixture: holder's Close closes the backend, lifetimes are tied
+	h.col = b.Column(0)
+	return h
+}

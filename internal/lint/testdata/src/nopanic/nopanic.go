@@ -1,0 +1,54 @@
+// Package nopanic is the analysistest fixture for the nopanic
+// analyzer: panics reachable from exported functions are flagged,
+// orphaned panics are not, and Must-style helpers show the
+// justification escape.
+package nopanic
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func Open(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty path")
+	}
+	return parse(path)
+}
+
+func parse(path string) error {
+	if len(path) > 99 {
+		panic("path too long") // want "panic is reachable from exported Open"
+	}
+	return nil
+}
+
+type Reader struct{ n int }
+
+func (r *Reader) Verify() {
+	r.check()
+}
+
+func (r *Reader) check() {
+	if r.n < 0 {
+		log.Fatalf("bad n %d", r.n) // want "log.Fatalf is reachable from exported Verify"
+	}
+}
+
+func Quit() {
+	os.Exit(2) // want "os.Exit is reachable from exported Quit"
+}
+
+// orphan is unreachable from any exported function, so its panic is
+// not on an untrusted-input path.
+func orphan() {
+	panic("orphan")
+}
+
+func MustParse(path string) {
+	if path == "" {
+		//lint:nopanic fixture: Must* helpers are documented to panic on programmer error
+		panic("empty path")
+	}
+}

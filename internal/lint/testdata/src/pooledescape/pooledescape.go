@@ -1,0 +1,57 @@
+// Package pooledescape is the analysistest fixture for the
+// pooledescape analyzer: leaks, return escapes, struct stores and
+// composite-literal escapes are flagged; the defer-Put idiom and the
+// justified ownership transfer are not.
+package pooledescape
+
+import (
+	"sync"
+
+	"charles/internal/pool"
+)
+
+var ints pool.Slice[int64]
+
+var raw sync.Pool
+
+type keeper struct{ buf *[]int64 }
+
+func leak(n int) int64 {
+	p := ints.Get(n) // want "never Put back"
+	return (*p)[0]
+}
+
+func rawLeak() {
+	v := raw.Get() // want "never Put back"
+	_ = v
+}
+
+func transfer(n int) *[]int64 {
+	p := ints.Get(n)
+	return p // want "escapes via return value"
+}
+
+func store(k *keeper, n int) {
+	p := ints.Get(n)
+	defer ints.Put(p)
+	k.buf = p // want "stored into struct field"
+}
+
+func lit(n int) {
+	p := ints.Get(n)
+	defer ints.Put(p)
+	_ = keeper{buf: p} // want "escapes into a composite literal"
+}
+
+func clean(n int) int64 {
+	p := ints.Get(n)
+	defer ints.Put(p)
+	v := *p
+	return v[0]
+}
+
+func justified(n int) *[]int64 {
+	p := ints.Get(n)
+	//lint:pooledescape fixture: documented ownership transfer, caller Puts
+	return p
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Alias tracking shared by pooledescape and mmaplife: both follow a
+// "tainted" value (a pooled pointer, an mmap-backed column) through
+// the expressions that genuinely alias its memory, and report when
+// an alias lands somewhere that outlives the call. A field selection
+// breaks the chain — copying a struct field out of a pooled element
+// copies the value, not the backing array — and so does an ordinary
+// function call, which consumes the buffer's contents rather than
+// the buffer.
+
+// aliasObjects returns the tracked variables whose memory e aliases:
+// the identifier itself, or a chain of parens, dereferences,
+// address-ofs, slicings, indexings and type assertions over one,
+// plus append() whose destination or elements alias one.
+func aliasObjects(pass *Pass, e ast.Expr, tracked map[types.Object]bool) []types.Object {
+	// A value of basic type cannot alias pooled or mapped memory:
+	// (*p)[0] copies an element out, it does not retain the buffer.
+	if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+		if _, isBasic := tv.Type.Underlying().(*types.Basic); isBasic {
+			return nil
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil && tracked[obj] {
+			return []types.Object{obj}
+		}
+	case *ast.ParenExpr:
+		return aliasObjects(pass, e.X, tracked)
+	case *ast.StarExpr:
+		return aliasObjects(pass, e.X, tracked)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return aliasObjects(pass, e.X, tracked)
+		}
+	case *ast.SliceExpr:
+		return aliasObjects(pass, e.X, tracked)
+	case *ast.IndexExpr:
+		return aliasObjects(pass, e.X, tracked)
+	case *ast.TypeAssertExpr:
+		return aliasObjects(pass, e.X, tracked)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				var objs []types.Object
+				for _, arg := range e.Args {
+					objs = append(objs, aliasObjects(pass, arg, tracked)...)
+				}
+				return objs
+			}
+		}
+	}
+	return nil
+}
+
+// trackAliases walks body once in source order, marking every
+// variable bound (via `:=`, `=` or multi-assign) to an expression
+// that aliases a tracked value — or that isSource reports as a fresh
+// source — as tracked itself.
+func trackAliases(pass *Pass, body ast.Node, tracked map[types.Object]bool, isSource func(ast.Expr) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(asg.Lhs) == len(asg.Rhs) {
+			for i, rhs := range asg.Rhs {
+				if isSource(rhs) || len(aliasObjects(pass, rhs, tracked)) > 0 {
+					trackLHS(pass, asg.Lhs[i], tracked)
+				}
+			}
+		} else if len(asg.Rhs) == 1 && isSource(asg.Rhs[0]) {
+			// x, ok := <source> — bind every target; aliasing through
+			// a multi-value call is not aliasing (calls consume).
+			for _, l := range asg.Lhs {
+				trackLHS(pass, l, tracked)
+			}
+		}
+		return true
+	})
+}
+
+// trackLHS marks a plain identifier assignment target as holding a
+// tracked value.
+func trackLHS(pass *Pass, lhs ast.Expr, tracked map[types.Object]bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		tracked[obj] = true
+		return
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		tracked[obj] = true
+	}
+}
+
+// longLivedLHS reports whether an assignment target is storage that
+// outlives the enclosing call: a struct field (directly or through
+// an index chain) or a package-level variable.
+func longLivedLHS(pass *Pass, lhs ast.Expr) (string, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return "struct field " + types.ExprString(e), true
+			}
+			if obj, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return "package-level variable " + types.ExprString(e), true
+			}
+			return "", false
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "package-level variable " + e.Name, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
