@@ -1,0 +1,132 @@
+// Command charles-lint runs the repo's custom invariant analyzers
+// (internal/lint) over the module: the stdlib-only equivalent of an
+// x/tools multichecker. It exits 0 when the tree is clean, 1 when
+// any analyzer reports a finding, and 2 on a usage or load error.
+//
+// Usage:
+//
+//	charles-lint [-C dir] [-list] [package/dir ...]
+//
+// With no package arguments it lints every package in the module.
+// Arguments are module-relative directories (e.g. internal/seg).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"charles/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charles-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to lint (directory containing go.mod)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	root, err := moduleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "charles-lint:", err)
+		return 2
+	}
+	pkgs, err := lint.ModulePackages(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "charles-lint:", err)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		keep := map[string]string{}
+		for _, arg := range fs.Args() {
+			d := filepath.Join(root, filepath.FromSlash(arg))
+			ip, ok := pkgs[d]
+			if !ok {
+				fmt.Fprintf(stderr, "charles-lint: no package at %s\n", arg)
+				return 2
+			}
+			keep[d] = ip
+		}
+		pkgs = keep
+	}
+
+	// Deterministic package order, so CI output diffs cleanly.
+	dirs := make([]string, 0, len(pkgs))
+	for d := range pkgs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	loader := lint.NewLoader()
+	findings := 0
+	for _, d := range dirs {
+		ip := pkgs[d]
+		var applicable []*lint.Analyzer
+		for _, a := range analyzers {
+			if a.Applies == nil || a.Applies(ip) {
+				applicable = append(applicable, a)
+			}
+		}
+		if len(applicable) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(d, ip)
+		if err != nil {
+			fmt.Fprintln(stderr, "charles-lint:", err)
+			return 2
+		}
+		for _, a := range applicable {
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, "charles-lint:", err)
+				return 2
+			}
+			for _, dg := range diags {
+				rel, err := filepath.Rel(root, dg.Pos.Filename)
+				if err == nil {
+					dg.Pos.Filename = rel
+				}
+				fmt.Fprintln(stdout, dg)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "charles-lint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot resolves dir or the nearest ancestor holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}

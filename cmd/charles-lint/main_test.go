@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"charles/internal/lint"
+)
+
+// TestRegistersAllAnalyzers pins the multichecker to the full suite:
+// an analyzer added to internal/lint but missing from the binary
+// would silently stop being enforced. The expected set doubles as
+// the documented contract — extend it when a new invariant lands.
+func TestRegistersAllAnalyzers(t *testing.T) {
+	wanted := []string{"ctxflow", "nopanic", "pooledescape", "mapdeterminism", "mmaplife"}
+	got := map[string]bool{}
+	for _, a := range lint.All() {
+		got[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Applies == nil {
+			t.Errorf("analyzer %s has no package scope", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	for _, name := range wanted {
+		if !got[name] {
+			t.Errorf("analyzer %s is not registered", name)
+		}
+	}
+	if len(lint.All()) != len(wanted) {
+		t.Errorf("registry has %d analyzers, want %d: update the pinned set alongside the suite", len(lint.All()), len(wanted))
+	}
+}
+
+// TestListFlag checks the -list output names every analyzer, since
+// that is what `make lint` surfaces to a developer debugging a
+// finding.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output does not mention %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func TestModuleRootResolution(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") && !strings.Contains(root, "/") {
+		t.Errorf("unexpected module root %q", root)
+	}
+	if _, err := moduleRoot(t.TempDir()); err == nil {
+		t.Error("moduleRoot outside any module should fail")
+	}
+}
+
+func TestUnknownPackageArg(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(no/such/dir) = %d, want 2 (usage error)", code)
+	}
+}
