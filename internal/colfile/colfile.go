@@ -213,6 +213,12 @@ func decodeDict(b []byte) ([]string, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	// Every entry costs at least its 4-byte length prefix, so the
+	// count is bounded by the region size; checking before the
+	// allocation keeps a hostile count from sizing the slice.
+	if int64(n)*4 > int64(len(b)-4) {
+		return nil, fmt.Errorf("colfile: dictionary claims %d entries in a %d-byte region (§6)", n, len(b))
+	}
 	dict := make([]string, 0, n)
 	for i := uint32(0); i < n; i++ {
 		slen := r.u32()
@@ -294,6 +300,9 @@ func decodeSummary(k engine.Kind, b []byte, numChunks int) (*engine.ChunkSummary
 	var d engine.SummaryData
 	switch k {
 	case engine.KindInt, engine.KindDate:
+		if int64(len(b)) != int64(numChunks)*16 {
+			return nil, fmt.Errorf("colfile: int summary region is %d bytes, want %d for %d chunks (§7.1)", len(b), numChunks*16, numChunks)
+		}
 		d.IntMin = make([]int64, numChunks)
 		d.IntMax = make([]int64, numChunks)
 		for i := range d.IntMin {
@@ -303,6 +312,9 @@ func decodeSummary(k engine.Kind, b []byte, numChunks int) (*engine.ChunkSummary
 			d.IntMax[i] = int64(r.u64())
 		}
 	case engine.KindFloat:
+		if int64(len(b)) != int64(numChunks)*17 {
+			return nil, fmt.Errorf("colfile: float summary region is %d bytes, want %d for %d chunks (§7.2)", len(b), numChunks*17, numChunks)
+		}
 		d.FloatMin = make([]float64, numChunks)
 		d.FloatMax = make([]float64, numChunks)
 		for i := range d.FloatMin {
@@ -325,6 +337,13 @@ func decodeSummary(k engine.Kind, b []byte, numChunks int) (*engine.ChunkSummary
 				return nil, fmt.Errorf("colfile: dense code summary with dictionary length %d", d.DictLen)
 			}
 			words := (d.DictLen + 63) / 64
+			// The per-chunk word count derives from the in-region
+			// DictLen, so bound the total against the region size
+			// before any chunk's bitset is allocated.
+			if int64(words)*8*int64(numChunks) != int64(len(b))-5 {
+				return nil, fmt.Errorf("colfile: dense code summary region is %d bytes, want %d for %d chunks of %d words (§7.3)",
+					len(b), 5+words*8*numChunks, numChunks, words)
+			}
 			d.CodeBits = make([][]uint64, numChunks)
 			for c := range d.CodeBits {
 				bits := make([]uint64, words)
@@ -342,7 +361,7 @@ func decodeSummary(k engine.Kind, b []byte, numChunks int) (*engine.ChunkSummary
 					d.CodeOverflow[c] = true
 					continue
 				}
-				if int64(n) > int64(len(b)) {
+				if int64(n)*4 > int64(len(b)) {
 					return nil, fmt.Errorf("colfile: chunk %d code list claims %d entries in a %d-byte region", c, n, len(b))
 				}
 				list := make([]uint32, n)

@@ -1,0 +1,172 @@
+package colfile
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charles/internal/engine"
+)
+
+// Native Go fuzz targets for the .chc parsers. The corruption suite
+// (corrupt_test.go) pins descriptive errors for mutations someone
+// thought of; fuzzing searches for the ones nobody did. The contract
+// under fuzz is the §11 loader contract: corrupt, truncated or
+// hostile input must produce an error or a valid File — never a
+// panic — and anything Open accepts must survive Verify and Close.
+//
+// CI runs a short -fuzztime smoke (make fuzz-smoke); longer local
+// runs just work: go test -fuzz=FuzzOpenColumnFile ./internal/colfile
+
+// fuzzSeedFile writes a small valid file covering every storable
+// kind and both code-presence summary forms, and returns its bytes.
+// It is the fuzzer's anchor seed: mutations of a structurally valid
+// file reach far deeper than random bytes.
+func fuzzSeedFile(f *testing.F) []byte {
+	f.Helper()
+	const rows = 300
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	small := make([]string, rows)
+	wide := make([]string, rows)
+	bools := make([]bool, rows)
+	cities := []string{"amsterdam", "batavia", "galle"}
+	for i := 0; i < rows; i++ {
+		ints[i] = int64(i*37%501) - 200
+		if i%17 == 0 {
+			floats[i] = math.NaN()
+		} else {
+			floats[i] = float64(i%89) / 3
+		}
+		small[i] = cities[i%len(cities)]
+		wide[i] = string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+i%10))
+		bools[i] = i%3 == 0
+	}
+	tab, err := engine.NewTable("fuzzseed",
+		engine.NewIntColumn("ints", ints),
+		engine.NewFloatColumn("floats", floats),
+		engine.NewStringColumn("small", small),
+		engine.NewStringColumn("wide", wide),
+		engine.NewBoolColumn("bools", bools),
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed"+Extension)
+	if err := Write(path, tab, WriteOptions{ChunkRows: 64}); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzOpenColumnFile drives the whole container path: header,
+// trailer, checksummed footer, region table, dictionaries, summary
+// regions, and — when Open accepts the input — the deep Verify pass
+// and Close. The corruption-suite corpus is reproduced as seeds:
+// the valid file plus the same classes of mutation the pinned tests
+// apply (flipped magic, truncations, oversized footer length, bit
+// flips in the footer JSON and in page data).
+func FuzzOpenColumnFile(f *testing.F) {
+	raw := fuzzSeedFile(f)
+	f.Add(raw)
+	// Seed the classic corruption classes so the fuzzer starts where
+	// corrupt_test.go's mutation suite left off.
+	trunc := raw[:len(raw)/2]
+	f.Add(trunc)
+	badMagic := append([]byte(nil), raw...)
+	copy(badMagic, "NOTACOLF")
+	f.Add(badMagic)
+	badTrailerLen := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(badTrailerLen[len(badTrailerLen)-trailerSize:], uint64(len(raw))*2)
+	f.Add(badTrailerLen)
+	flipFooter := append([]byte(nil), raw...)
+	flipFooter[len(flipFooter)-trailerSize-10] ^= 0x40
+	f.Add(flipFooter)
+	flipPage := append([]byte(nil), raw...)
+	flipPage[headerSize+3] ^= 0x01
+	f.Add(flipPage)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz"+Extension)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		file, err := Open(path)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("Open returned an empty error: corrupt input must fail descriptively")
+			}
+			return
+		}
+		// Structurally valid: the deep integrity pass and the
+		// column accessors must hold up without panicking too.
+		for i := 0; i < file.NumCols(); i++ {
+			col := file.Column(i)
+			if col.Len() != file.NumRows() {
+				t.Fatalf("column %d has %d rows, file says %d", i, col.Len(), file.NumRows())
+			}
+		}
+		if err := file.Verify(); err != nil && err.Error() == "" {
+			t.Fatal("Verify returned an empty error")
+		}
+		if err := file.Close(); err != nil {
+			t.Fatalf("Close after successful Open: %v", err)
+		}
+	})
+}
+
+// FuzzReadPage drives the intra-region page parsers that Open and
+// decodeSummary feed mapped bytes into: the dictionary decoder and
+// the per-kind summary decoder (zone maps, float purity, dense and
+// sparse code presence). These see raw attacker-controlled bytes
+// bounded only by the footer's region table, so they must error —
+// never panic or over-read — on any input.
+func FuzzReadPage(f *testing.F) {
+	f.Add(encodeDict([]string{"amsterdam", "batavia", ""}), uint8(2), 4)
+	f.Add(encodeDict(nil), uint8(2), 1)
+	intSum := encodeSummary(engine.KindInt, engine.SummaryData{
+		IntMin: []int64{-5, 0}, IntMax: []int64{10, 7},
+	})
+	f.Add(intSum, uint8(0), 2)
+	floatSum := encodeSummary(engine.KindFloat, engine.SummaryData{
+		FloatMin: []float64{0.5}, FloatMax: []float64{2.5}, FloatPure: []bool{true},
+	})
+	f.Add(floatSum, uint8(1), 1)
+	denseSum := encodeSummary(engine.KindString, engine.SummaryData{
+		DictLen:  3,
+		CodeBits: [][]uint64{{0b101}, {0b010}},
+	})
+	f.Add(denseSum, uint8(2), 2)
+	sparseSum := encodeSummary(engine.KindString, engine.SummaryData{
+		DictLen:      5000,
+		CodeList:     [][]uint32{{1, 9}, nil},
+		CodeOverflow: []bool{false, true},
+	})
+	f.Add(sparseSum, uint8(2), 2)
+	boolSum := encodeSummary(engine.KindBool, engine.SummaryData{
+		BoolHasTrue: []bool{true}, BoolHasFalse: []bool{false},
+	})
+	f.Add(boolSum, uint8(3), 1)
+
+	kinds := []engine.Kind{engine.KindInt, engine.KindFloat, engine.KindString, engine.KindBool, engine.KindDate}
+	f.Fuzz(func(t *testing.T, data []byte, kindSel uint8, numChunks int) {
+		if numChunks < 0 || numChunks > 1<<12 {
+			return
+		}
+		if _, err := decodeDict(data); err != nil && err.Error() == "" {
+			t.Fatal("decodeDict returned an empty error")
+		}
+		kind := kinds[int(kindSel)%len(kinds)]
+		if _, err := decodeSummary(kind, data, numChunks); err != nil && err.Error() == "" {
+			t.Fatal("decodeSummary returned an empty error")
+		}
+	})
+}
