@@ -105,6 +105,7 @@ func NewTableFromBackend(b ColumnBackend) (*Table, error) {
 			return nil, fmt.Errorf("engine: duplicate column %q", c.Name())
 		}
 		t.byName[c.Name()] = i
+		//lint:mmaplife Table is the sanctioned retainer: Table.Close closes this backend, so the views cannot outlive their mapping
 		t.cols[i] = c
 	}
 	t.SetChunkRows(b.NativeChunkRows())

@@ -187,6 +187,7 @@ func flattenInt64Scratch(chunks [][]int64, n int) (*[]int64, []int64) {
 	for _, ch := range chunks {
 		out = append(out, ch...)
 	}
+	//lint:pooledescape deliberate ownership transfer: every caller defers Put(p) before using out
 	return p, out
 }
 
@@ -196,6 +197,7 @@ func flattenFloat64Scratch(chunks [][]float64, n int) (*[]float64, []float64) {
 	for _, ch := range chunks {
 		out = append(out, ch...)
 	}
+	//lint:pooledescape deliberate ownership transfer: every caller defers Put(p) before using out
 	return p, out
 }
 
