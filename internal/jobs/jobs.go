@@ -256,6 +256,7 @@ func (m *Manager) Submit(key string, run RunFunc) (*Job, error) {
 	if len(m.fifo) >= m.opt.QueueDepth {
 		return nil, ErrQueueFull
 	}
+	//lint:ctxflow deliberate detach: a queued job outlives its submitting request; cancellation arrives via Job.Cancel/Manager.Shutdown driving abort
 	cctx, abort := context.WithCancel(context.Background())
 	m.seq++
 	j := &Job{
