@@ -277,6 +277,7 @@ func numericNominalFallback(attr string, col engine.Column, sel engine.Selection
 	}
 	byKey := make(map[string]engine.Value, len(counts))
 	vcs := make([]stats.ValueCount, 0, len(counts))
+	//lint:deterministic vcs and byKey are value-keyed accumulators; nominalPieces fully re-orders vcs before anything ranked sees it
 	for bits, n := range counts {
 		v := toValue(bits)
 		key := v.String()

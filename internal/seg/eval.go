@@ -224,6 +224,7 @@ func (e *Evaluator) store(key string, sel *engine.ChunkedSelection) {
 	s.mu.Lock()
 	if perShard > 0 && len(s.m) >= perShard {
 		if _, exists := s.m[key]; !exists {
+			//lint:deterministic random-replacement eviction is deliberately arbitrary: cache contents affect reuse, never results
 			for k := range s.m {
 				delete(s.m, k)
 				break
@@ -254,6 +255,7 @@ func (e *Evaluator) storeBitmap(key string, bm *engine.Bitmap) {
 	s.mu.Lock()
 	if perShard > 0 && len(s.m) >= perShard {
 		if _, exists := s.m[key]; !exists {
+			//lint:deterministic random-replacement eviction is deliberately arbitrary: cache contents affect reuse, never results
 			for k := range s.m {
 				delete(s.m, k)
 				break
