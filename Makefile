@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet docs-check ci
+# Perf-trajectory artifact name; tracks the PR sequence so successive
+# baselines never overwrite each other in the artifact history.
+BENCH_OUT ?= BENCH_7.json
+
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet lint fuzz-smoke docs-check ci
 
 all: build
 
@@ -30,15 +34,13 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Perf trajectory: the bench-smoke set with -benchmem, recorded as
-# op → ns/op + B/op + allocs/op JSON. CI uploads BENCH_6.json as an
-# artifact so future PRs have a baseline to diff against; the number
-# tracks the PR sequence so successive baselines never overwrite each
-# other in the artifact history. Two steps, not a pipe: a pipe would
-# report the converter's exit status and let a failing benchmark slip
-# through the CI gate.
+# op → ns/op + B/op + allocs/op JSON. CI uploads $(BENCH_OUT) as an
+# artifact so future PRs have a baseline to diff against. Two steps,
+# not a pipe: a pipe would report the converter's exit status and let
+# a failing benchmark slip through the CI gate.
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench-smoke.out
-	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > BENCH_6.json
+	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > $(BENCH_OUT)
 	@rm -f bench-smoke.out
 
 # The 10M-row scale comparison (E17) plus the 1M-row chunked scan
@@ -57,10 +59,33 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Invariant lint: the repo's own analyzers (internal/lint, run via
+# cmd/charles-lint) machine-check the engine's load-bearing
+# guarantees — see docs/ARCHITECTURE.md for the analyzer ↔ invariant
+# table. staticcheck and govulncheck join the gate when installed;
+# they are optional so the target works in offline sandboxes where
+# only the toolchain itself is available.
+lint:
+	$(GO) run ./cmd/charles-lint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
+
+# Short native-fuzz pass over the .chc parsers: enough budget to
+# exercise the mutators on every seed class, small enough for CI.
+# The exec-denominated minimize budget keeps a newly found
+# interesting input from eating the wall-clock budget.
+fuzz-smoke:
+	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzReadPage -fuzztime=20s -fuzzminimizetime=30x
+	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzOpenColumnFile -fuzztime=20s -fuzzminimizetime=30x
+
 # Documentation gate: relative markdown links in README + docs/ must
 # resolve, and every §N the colfile code cites must be a heading in
 # docs/FORMAT.md (the spec's numbering is load-bearing).
 docs-check:
 	$(GO) test -run='TestDocs' .
 
-ci: fmt-check vet build test-race docs-check bench-json
+ci: fmt-check vet lint build test-race fuzz-smoke docs-check bench-json
