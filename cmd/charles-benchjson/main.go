@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | charles-benchjson > BENCH_6.json
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | charles-benchjson > BENCH_N.json
 package main
 
 import (

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,8 +51,9 @@ func expectOpenError(t *testing.T, raw []byte, wants ...string) {
 // rewriteFooter parses raw's footer, applies mutate, and re-emits
 // the file with a consistent footer length, checksum and trailer —
 // so the corruption under test is the *semantic* one mutate applied,
-// not a checksum mismatch masking it.
-func rewriteFooter(t *testing.T, raw []byte, mutate func(*footer)) []byte {
+// not a checksum mismatch masking it. It takes a testing.TB so the
+// fuzz harness can use it to seed CRC-valid hostile footers.
+func rewriteFooter(t testing.TB, raw []byte, mutate func(*footer)) []byte {
 	t.Helper()
 	tr := raw[len(raw)-trailerSize:]
 	flen := int(binary.LittleEndian.Uint64(tr[0:8]))
@@ -135,6 +137,22 @@ func TestOpenRejectsRegionViolations(t *testing.T) {
 	// Two columns aliasing the same pages (§3).
 	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[1].Data = ft.Columns[0].Data }),
 		"overlap")
+	// Offset+Length wrapping past MaxInt64: the naive bound
+	// `offset+length > footerStart` sees a negative sum and admits
+	// the region, and slicing then panics. The dictionary region is
+	// the nastiest target — it has no expected-length check to fall
+	// back on — so that is the one pinned here.
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) {
+		ft.Columns[3].Dict.Offset = 1 << 62
+		ft.Columns[3].Dict.Length = math.MaxInt64 - 1<<62 + 100
+	}), "outside the file body")
+	// Same wrap on a data region, and a negative length.
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) {
+		ft.Columns[0].Data.Offset = 1 << 62
+		ft.Columns[0].Data.Length = math.MaxInt64 - 1<<62 + 100
+	}), "outside the file body")
+	expectOpenError(t, rewriteFooter(t, raw, func(ft *footer) { ft.Columns[0].Data.Length = -8 }),
+		"outside the file body")
 }
 
 func TestOpenRejectsSchemaCorruption(t *testing.T) {
@@ -204,31 +222,22 @@ func TestVerifyCatchesPageCorruption(t *testing.T) {
 	}
 }
 
-// TestVerifyCatchesOutOfRangeCodes pins §5.3: codes beyond the
-// dictionary are caught by the deep verification pass.
-func TestVerifyCatchesOutOfRangeCodes(t *testing.T) {
+// TestOpenRejectsOutOfRangeCodes pins §5.3: codes beyond the
+// dictionary are caught eagerly at open — the engine indexes the
+// dictionary by code without a bounds check, so admitting one would
+// turn the first scan that touches the row into a panic. The page
+// CRC is restored so only the range check can catch it: the write
+// below is exactly the corruption a buggy writer would produce, with
+// checksums agreeing with the bytes.
+func TestOpenRejectsOutOfRangeCodes(t *testing.T) {
 	_, raw := writeTestFile(t)
 	var codeOff int64
 	var ft0 footer
 	rewriteFooter(t, raw, func(ft *footer) { codeOff, ft0 = ft.Columns[3].Data.Offset, *ft })
 	bad := append([]byte(nil), raw...)
 	binary.LittleEndian.PutUint32(bad[codeOff+40:], 1<<30) // a code no dictionary has
-	// Restore the page CRC so only the range check can catch it —
-	// Verify must not rely on checksums alone.
 	pageBytes := ft0.ChunkRows * 4
 	page0 := bad[codeOff : codeOff+pageBytes]
 	bad = rewriteFooter(t, bad, func(ft *footer) { ft.Columns[3].PageCRCs[0] = crc32.ChecksumIEEE(page0) })
-	p := filepath.Join(t.TempDir(), "badcode"+Extension)
-	if err := os.WriteFile(p, bad, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	f, err := Open(p)
-	if err != nil {
-		t.Fatalf("open: %v", err)
-	}
-	defer f.Close()
-	err = f.Verify()
-	if err == nil || !strings.Contains(err.Error(), "beyond the") {
-		t.Fatalf("verify error = %v, want an out-of-range dictionary code", err)
-	}
+	expectOpenError(t, bad, "beyond the", "dictionary")
 }

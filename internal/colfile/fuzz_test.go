@@ -91,6 +91,14 @@ func FuzzOpenColumnFile(f *testing.F) {
 	flipPage := append([]byte(nil), raw...)
 	flipPage[headerSize+3] ^= 0x01
 	f.Add(flipPage)
+	// A CRC-valid footer whose region arithmetic overflows int64.
+	// Random mutation almost never reaches the region checks — a
+	// mutated footer dies at the trailer CRC first — so the hostile
+	// footer classes must be seeded with their checksums recomputed.
+	f.Add(rewriteFooter(f, raw, func(ft *footer) {
+		ft.Columns[0].Data.Offset = 1 << 62
+		ft.Columns[0].Data.Length = math.MaxInt64 - 1<<62 + 100
+	}))
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
 

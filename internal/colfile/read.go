@@ -15,9 +15,10 @@ import (
 
 // File is an opened columnar file: an engine.ColumnBackend whose
 // column vectors are zero-copy views into the file's memory mapping,
-// so opening is O(metadata) and rows fault in from the page cache
-// only when a scan touches them. A File must stay open for as long
-// as any table built over it is in use; Close unmaps it.
+// so opening reads metadata plus the validity scans over boolean and
+// string pages (§5.3, §5.4); other pages fault in from the page
+// cache only when a scan touches them. A File must stay open for as
+// long as any table built over it is in use; Close unmaps it.
 type File struct {
 	path  string
 	data  []byte
@@ -35,11 +36,13 @@ type File struct {
 
 // Open maps path and validates its structure (§11): magic and
 // version at both ends, checksummed footer, region bounds,
-// alignment and lengths, dictionary and summary integrity. It does
-// not checksum value pages — that reads the whole file; call Verify
-// for a full integrity pass. Errors are descriptive and wrap no
-// panic: a truncated, corrupt or wrong-version file is reported as
-// such.
+// alignment and lengths, dictionary and summary integrity, and the
+// validity of boolean bytes and string dictionary codes — everything
+// the engine's zero-copy views would otherwise trust blindly. It
+// does not checksum value pages — that reads the whole file; call
+// Verify for a full integrity pass. Errors are descriptive and wrap
+// no panic: a truncated, corrupt or wrong-version file is reported
+// as such.
 func Open(path string) (*File, error) {
 	if !hostLittleEndian() {
 		return nil, fmt.Errorf("colfile: zero-copy reads require a little-endian host (§2)")
@@ -129,8 +132,11 @@ func (f *File) parse() error {
 	type span struct{ off, length int64 }
 	spans := []span{{0, headerSize}, {footerStart, int64(len(data)) - footerStart}}
 	checkRegion := func(what string, r region, align, wantLen int64) error {
-		if r.Offset < headerSize || r.Length < 0 || r.Offset+r.Length > footerStart {
-			return fmt.Errorf("%s region [%d, %d) falls outside the file body (§3)", what, r.Offset, r.Offset+r.Length)
+		// The end-of-region comparison is phrased as a subtraction so a
+		// hostile footer cannot wrap Offset+Length past MaxInt64 into a
+		// negative sum that passes the bound (§3, §11).
+		if r.Offset < headerSize || r.Length < 0 || r.Offset > footerStart || r.Length > footerStart-r.Offset {
+			return fmt.Errorf("%s region at offset %d, length %d falls outside the file body (§3)", what, r.Offset, r.Length)
 		}
 		if r.Offset%align != 0 {
 			return fmt.Errorf("%s region offset %d is not %d-byte aligned (§2)", what, r.Offset, align)
@@ -194,15 +200,28 @@ func (f *File) parse() error {
 				return fmt.Errorf("column %q dictionary holds %d entries, footer says %d (§6)",
 					cm.Name, len(dict), cm.DictCount)
 			}
-			sc, err := engine.NewStringColumnFromDict(cm.Name, viewUint32(raw), dict)
+			// Codes are validated eagerly for the same reason boolean
+			// bytes are (§5.3): the engine indexes dict[code] without a
+			// bounds check, so an out-of-range code in an otherwise
+			// structurally valid file would panic at scan time — after
+			// Open promised the file was safe to query. A u32 per row,
+			// the scan costs the same as the boolean one.
+			codes := viewUint32(raw)
+			for row, code := range codes {
+				if int64(code) >= cm.DictCount {
+					return fmt.Errorf("column %q row %d: dictionary code %d beyond the %d-entry dictionary (§5.3)",
+						cm.Name, row, code, cm.DictCount)
+				}
+			}
+			sc, err := engine.NewStringColumnFromDict(cm.Name, codes, dict)
 			if err != nil {
 				return fmt.Errorf("column %q: %w", cm.Name, err)
 			}
 			f.cols[i] = sc
 		case engine.KindBool:
-			// Booleans are the one encoding a Go value view cannot
-			// tolerate arbitrary bytes in (§5.4), so they are the one
-			// page kind validated eagerly; bool columns are a byte
+			// A Go []bool view cannot tolerate bytes other than 0/1
+			// (§5.4), so boolean pages are validated eagerly for the
+			// same reason string codes are; bool columns are a byte
 			// per row, so the scan stays cheap.
 			for off, b := range raw {
 				if b > 1 {
@@ -287,12 +306,13 @@ func (f *File) Close() error {
 }
 
 // Verify checksums every value page against the footer's page table
-// and range-checks every string column's codes against its
-// dictionary (§9, §11). It reads the entire file — this is the
-// explicit deep check behind charles-ingest -verify, not part of
-// Open.
+// (§9, §11). It reads the entire file — this is the explicit deep
+// check behind charles-ingest -verify, not part of Open. String
+// codes need no separate pass here: Open range-checks them (§5.3),
+// and any post-open bit damage to a code page shows up as a page
+// checksum mismatch.
 func (f *File) Verify() error {
-	for i, cm := range f.ft.Columns {
+	for _, cm := range f.ft.Columns {
 		raw := f.data[cm.Data.Offset : cm.Data.Offset+cm.Data.Length]
 		kind, _ := engine.ParseKind(cm.Kind)
 		pageBytes := int64(f.chunkRows) * elemSize(kind)
@@ -305,16 +325,6 @@ func (f *File) Verify() error {
 			if got := crc32.ChecksumIEEE(raw[lo:hi]); got != want {
 				return fmt.Errorf("colfile: column %q page %d checksum mismatch: computed %#x, footer says %#x (§9)",
 					cm.Name, c, got, want)
-			}
-		}
-		if kind == engine.KindString {
-			codes := f.cols[i].(*engine.StringColumn).Codes()
-			card := uint32(cm.DictCount)
-			for row, code := range codes {
-				if code >= card {
-					return fmt.Errorf("colfile: column %q row %d: dictionary code %d beyond the %d-entry dictionary (§5.3)",
-						cm.Name, row, code, card)
-				}
 			}
 		}
 	}
