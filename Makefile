@@ -6,9 +6,9 @@ GO ?= go
 
 # Perf-trajectory artifact name; tracks the PR sequence so successive
 # baselines never overwrite each other in the artifact history.
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 
-.PHONY: all build test test-race bench bench-smoke bench-json bench-scale fmt fmt-check vet lint fuzz-smoke docs-check ci
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale bench-delta fmt fmt-check vet lint fuzz-smoke docs-check ci
 
 all: build
 
@@ -42,6 +42,15 @@ bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench-smoke.out
 	$(GO) run ./cmd/charles-benchjson < bench-smoke.out > $(BENCH_OUT)
 	@rm -f bench-smoke.out
+
+# Incremental-advise smoke: one E21 delta benchmark iteration proves
+# the cold/warm pair still runs, and the env-gated E21 test enforces
+# the conservative CI-safe floor (warm re-advise after a 1% append at
+# least 5x faster than cold). CHARLES_DELTA_GATE=10 checks the
+# paper-facing 10x claim on a quiet machine.
+bench-delta:
+	$(GO) test -run=NONE -bench=BenchmarkE21DeltaAdvise -benchtime=1x .
+	CHARLES_DELTA_GATE=1 $(GO) test -run='TestE21DeltaAdviseGate' -v -timeout=15m .
 
 # The 10M-row scale comparison (E17) plus the 1M-row chunked scan
 # (E16), locally: generates ~10M rows of VOC (several hundred MB),
@@ -88,4 +97,4 @@ fuzz-smoke:
 docs-check:
 	$(GO) test -run='TestDocs' .
 
-ci: fmt-check vet lint build test-race fuzz-smoke docs-check bench-json
+ci: fmt-check vet lint build test-race fuzz-smoke docs-check bench-json bench-delta

@@ -734,3 +734,58 @@ func BenchmarkE20ColdStart(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE21DeltaAdvise measures the incremental-advise claim
+// (chunk-epoch invalidation): after appending 1% more rows to a
+// 1M-row table, a warm advisor — selection caches, packed bitmaps
+// and cut-point runs all primed and epoch-stamped — re-advises ≥10×
+// faster than a cold advisor over the same mutated data, answering
+// byte-identically (TestE21DeltaAdviseGate pins both properties; the
+// `make bench-delta` CI smoke re-checks the ratio).
+func BenchmarkE21DeltaAdvise(b *testing.B) {
+	const nRows = 1_000_000
+	const context = "(type_of_boat:, tonnage:, departure_harbour:)"
+	src := table(b, "voc", nRows, 1)
+	appendDelta := func(b *testing.B, tab *engine.Table, round int) {
+		b.Helper()
+		rows := make([][]engine.Value, nRows/100)
+		for i := range rows {
+			r := (i*97 + round) % nRows
+			row := make([]engine.Value, src.NumCols())
+			for c := 0; c < src.NumCols(); c++ {
+				row[c] = src.Column(c).Value(r)
+			}
+			rows[i] = row
+		}
+		if err := tab.AppendRows(rows...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		tab := cloneTable(b, src)
+		appendDelta(b, tab, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+			if _, err := adv.AdviseString(context); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		tab := cloneTable(b, src)
+		adv := charles.NewAdvisor(tab, charles.DefaultConfig())
+		if _, err := adv.AdviseString(context); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			appendDelta(b, tab, i+1)
+			b.StartTimer()
+			if _, err := adv.AdviseString(context); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,9 +1,13 @@
 // Command charles-benchjson converts `go test -bench` output on
-// stdin into a JSON perf-trajectory document: benchmark name →
-// ns/op, B/op and allocs/op. The Makefile's bench-json target pipes
-// the bench-smoke sweep through it into BENCH_N.json, and CI uploads
-// the file as an artifact, so every PR leaves a machine-readable
-// baseline the next one can diff against.
+// stdin into a JSON perf-trajectory document: an "env" block naming
+// the machine and revision the numbers came from, and a
+// "benchmarks" block mapping benchmark name → ns/op, B/op and
+// allocs/op. The Makefile's bench-json target pipes the bench-smoke
+// sweep through it into BENCH_N.json, and CI uploads the file as an
+// artifact, so every PR leaves a machine-readable baseline the next
+// one can diff against — and the env block keeps cross-machine
+// diffs honest: a 2× "regression" measured on half the cores is not
+// a regression.
 //
 // Usage:
 //
@@ -14,9 +18,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
+	"strings"
 )
 
 // benchResult is one benchmark's measurements. Bytes and allocs are
@@ -29,6 +37,25 @@ type benchResult struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
+// benchEnv records where the numbers came from. GitSHA is empty
+// when the tree is not a git checkout (e.g. an exported tarball) —
+// absent beats wrong.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha,omitempty"`
+}
+
+// benchDoc is the document shape: environment first, measurements
+// second.
+type benchDoc struct {
+	Env        benchEnv               `json:"env"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
 // benchLine matches one result line, e.g.
 //
 //	BenchmarkE15ParallelCells/rep=auto/workers=4-8   100  123456 ns/op  2345 B/op  12 allocs/op
@@ -37,9 +64,10 @@ type benchResult struct {
 // stripped so the key is stable across machines.
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
-func main() {
+// parseBench scans bench output into the name → result map.
+func parseBench(in io.Reader) (map[string]benchResult, error) {
 	results := make(map[string]benchResult)
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -59,7 +87,29 @@ func main() {
 		}
 		results[m[1]] = r
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+// captureEnv snapshots the measuring machine. The git SHA comes from
+// the git binary so the tool needs no VCS library; any failure (no
+// git, not a checkout) leaves the field empty.
+func captureEnv() benchEnv {
+	env := benchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		env.GitSHA = strings.TrimSpace(string(out))
+	}
+	return env
+}
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "charles-benchjson:", err)
 		os.Exit(1)
 	}
@@ -69,7 +119,7 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(benchDoc{Env: captureEnv(), Benchmarks: results}); err != nil {
 		fmt.Fprintln(os.Stderr, "charles-benchjson:", err)
 		os.Exit(1)
 	}

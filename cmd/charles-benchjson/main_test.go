@@ -1,0 +1,48 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkE15ParallelCells/rep=auto/workers=4-8   100  123456 ns/op  2345 B/op  12 allocs/op",
+		"BenchmarkE21DeltaAdvise/warm-8                     5  1500000 ns/op",
+		"PASS",
+	}, "\n")
+	results, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(results), results)
+	}
+	r, ok := results["E15ParallelCells/rep=auto/workers=4"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", results)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 123456 || r.BytesPerOp == nil || *r.BytesPerOp != 2345 || r.AllocsPerOp == nil || *r.AllocsPerOp != 12 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	if warm := results["E21DeltaAdvise/warm"]; warm.BytesPerOp != nil {
+		t.Fatalf("missing -benchmem columns should be null, got %+v", warm)
+	}
+}
+
+// TestCaptureEnv pins the provenance block: diffing BENCH_N.json
+// across PRs is only honest when each file names its machine.
+func TestCaptureEnv(t *testing.T) {
+	env := captureEnv()
+	if env.GoVersion != runtime.Version() || env.GOOS != runtime.GOOS || env.GOARCH != runtime.GOARCH {
+		t.Fatalf("toolchain fields wrong: %+v", env)
+	}
+	if env.NumCPU < 1 || env.GOMAXPROCS < 1 {
+		t.Fatalf("CPU fields wrong: %+v", env)
+	}
+	if env.GitSHA != "" && len(env.GitSHA) != 40 {
+		t.Fatalf("git_sha is neither empty nor a full SHA: %q", env.GitSHA)
+	}
+}

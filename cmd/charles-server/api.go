@@ -5,6 +5,9 @@
 //	POST   /advise?context=…   submit; 200 + result on a cache hit,
 //	                           202 + job id otherwise, 503 when the
 //	                           queue is full
+//	POST   /append             append rows to a memory-backed table;
+//	                           every cache re-keys on the new table
+//	                           fingerprint (incremental advise)
 //	GET    /jobs/{id}          state + progress (+ result when done)
 //	DELETE /jobs/{id}          cancel (queued or mid-advise)
 //	GET    /jobs               list every retained job
@@ -20,12 +23,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strings"
 	"time"
 
 	"charles"
+	"charles/internal/engine"
 	"charles/internal/jobs"
 )
 
@@ -331,5 +337,122 @@ func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Hits:    hits,
 			Misses:  misses,
 		},
+	})
+}
+
+// coerceValue converts one decoded JSON value to the engine value a
+// column of the given kind accepts. JSON numbers arrive as float64;
+// int columns additionally require them to be integral, and date
+// columns take "YYYY-MM-DD" strings.
+func coerceValue(kind engine.Kind, raw any) (charles.Value, error) {
+	switch kind {
+	case engine.KindInt:
+		f, ok := raw.(float64)
+		if !ok {
+			return charles.Value{}, fmt.Errorf("want a number, got %T", raw)
+		}
+		if f != math.Trunc(f) || math.Abs(f) > 1<<53 {
+			return charles.Value{}, fmt.Errorf("want an integer, got %v", f)
+		}
+		return charles.Int(int64(f)), nil
+	case engine.KindFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return charles.Value{}, fmt.Errorf("want a number, got %T", raw)
+		}
+		return charles.Float(f), nil
+	case engine.KindString:
+		s, ok := raw.(string)
+		if !ok {
+			return charles.Value{}, fmt.Errorf("want a string, got %T", raw)
+		}
+		return charles.Str(s), nil
+	case engine.KindBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return charles.Value{}, fmt.Errorf("want a bool, got %T", raw)
+		}
+		return charles.Bool(b), nil
+	case engine.KindDate:
+		s, ok := raw.(string)
+		if !ok {
+			return charles.Value{}, fmt.Errorf("want a YYYY-MM-DD string, got %T", raw)
+		}
+		return charles.ParseDate(s)
+	}
+	return charles.Value{}, fmt.Errorf("unsupported column kind %v", kind)
+}
+
+// handleAppend appends rows to the served table — the HTTP face of
+// the incremental-advise path. The body is {"rows": [{column:
+// value, …}, …]}; every row must name every column exactly once.
+// Validation is all-or-nothing (the engine applies nothing on error)
+// and a file-backed table answers 409: .chc columns alias a
+// read-only mapping and stay immutable. On success every layer
+// re-keys automatically — the table fingerprint moved, so the result
+// LRU, job coalescing and single-flight all miss, while the shared
+// evaluator refreshes its epoch-stamped caches chunk-at-a-time on
+// the next advise instead of recomputing from scratch.
+func (sv *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	var body struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(body.Rows) == 0 {
+		jsonError(w, http.StatusBadRequest, "no rows to append")
+		return
+	}
+	tab := sv.adv.Table()
+	rows := make([][]charles.Value, 0, len(body.Rows))
+	for i, jr := range body.Rows {
+		row := make([]charles.Value, tab.NumCols())
+		for c := 0; c < tab.NumCols(); c++ {
+			col := tab.Column(c)
+			raw, ok := jr[col.Name()]
+			if !ok {
+				jsonError(w, http.StatusBadRequest, fmt.Sprintf("row %d: missing column %q", i, col.Name()))
+				return
+			}
+			v, err := coerceValue(col.Kind(), raw)
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, fmt.Sprintf("row %d, column %q: %v", i, col.Name(), err))
+				return
+			}
+			row[c] = v
+		}
+		if len(jr) != tab.NumCols() {
+			for name := range jr {
+				if _, ok := tab.ColumnByName(name); !ok {
+					jsonError(w, http.StatusBadRequest, fmt.Sprintf("row %d: unknown column %q", i, name))
+					return
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	sv.tabMu.Lock()
+	err := tab.AppendRows(rows...)
+	sv.tabMu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "read-only") {
+			status = http.StatusConflict
+		}
+		jsonError(w, status, err.Error())
+		return
+	}
+	sv.invalidateSessions()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended":    len(rows),
+		"rows":        tab.NumRows(),
+		"fingerprint": tab.Fingerprint(),
 	})
 }

@@ -1,0 +1,177 @@
+// Tests for POST /append: the HTTP face of incremental advise.
+// Beyond the row-validation matrix, these pin the invalidation
+// contract — a successful append moves the table fingerprint, which
+// re-keys the result cache (old entries become unaddressable) and
+// sweeps every session's pinned result.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"charles"
+	"charles/internal/engine"
+)
+
+// vocRowJSON is one well-formed /append row for the VOC schema.
+func vocRowJSON(tonnage int64) string {
+	return fmt.Sprintf(`{"type_of_boat": "fluit", "tonnage": %d, "built": 1710,
+		"yard": "Amsterdam", "departure_date": "1712-03-04",
+		"departure_harbour": "Texel", "cape_arrival": "1712-07-19",
+		"trip": 137, "master": "Jan de Vries"}`, tonnage)
+}
+
+// postAppend drives one /append request with a raw JSON body.
+func (c *client) postAppend(body string) (int, map[string]any) {
+	c.t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/append", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	c.mux.ServeHTTP(rec, req)
+	var payload map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			c.t.Fatalf("append response not JSON: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec.Code, payload
+}
+
+func TestAppendRowsOverHTTP(t *testing.T) {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	tab := sv.adv.Table()
+	before, beforeFP := tab.NumRows(), tab.Fingerprint()
+
+	code, payload := c.postAppend(fmt.Sprintf(`{"rows": [%s, %s]}`, vocRowJSON(400), vocRowJSON(850)))
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d (%v)", code, payload)
+	}
+	if got := payload["appended"].(float64); got != 2 {
+		t.Fatalf("appended = %v, want 2", got)
+	}
+	if got := payload["rows"].(float64); int(got) != before+2 {
+		t.Fatalf("rows = %v, want %d", got, before+2)
+	}
+	if tab.NumRows() != before+2 {
+		t.Fatalf("table has %d rows, want %d", tab.NumRows(), before+2)
+	}
+	if fp := payload["fingerprint"].(string); fp == beforeFP || fp != tab.Fingerprint() {
+		t.Fatalf("fingerprint %q (before %q, table %q)", fp, beforeFP, tab.Fingerprint())
+	}
+}
+
+// TestAppendValidationMatrix pins the all-or-nothing contract: every
+// malformed request answers 4xx and leaves the table untouched.
+func TestAppendValidationMatrix(t *testing.T) {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	tab := sv.adv.Table()
+	before := tab.NumRows()
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty rows", `{"rows": []}`, http.StatusBadRequest},
+		{"bad JSON", `{"rows": [`, http.StatusBadRequest},
+		{"missing column", `{"rows": [{"tonnage": 400}]}`, http.StatusBadRequest},
+		{"unknown column", `{"rows": [` +
+			strings.Replace(vocRowJSON(400), `"master"`, `"master": "x", "cargo"`, 1) + `]}`,
+			http.StatusBadRequest},
+		{"string for int", `{"rows": [` +
+			strings.Replace(vocRowJSON(400), `"tonnage": 400`, `"tonnage": "heavy"`, 1) + `]}`,
+			http.StatusBadRequest},
+		{"fractional int", `{"rows": [` +
+			strings.Replace(vocRowJSON(400), `"tonnage": 400`, `"tonnage": 400.5`, 1) + `]}`,
+			http.StatusBadRequest},
+		{"bad date", `{"rows": [` +
+			strings.Replace(vocRowJSON(400), `"1712-03-04"`, `"last tuesday"`, 1) + `]}`,
+			http.StatusBadRequest},
+		{"second row bad", fmt.Sprintf(`{"rows": [%s, {"tonnage": 1}]}`, vocRowJSON(400)),
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, payload := c.postAppend(tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.want, payload)
+		}
+	}
+	if tab.NumRows() != before {
+		t.Fatalf("failed appends mutated the table: %d rows, want %d", tab.NumRows(), before)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/append", nil)
+	rec := httptest.NewRecorder()
+	c.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /append: status %d, want 405", rec.Code)
+	}
+}
+
+// TestAppendInvalidatesCachesAndSessions pins the fingerprint re-key:
+// a cached advise answers 200 before the append and misses (202)
+// after it, and the append sweeps pinned session results.
+func TestAppendInvalidatesCachesAndSessions(t *testing.T) {
+	sv := testServer(t)
+	c := newClient(t, sv)
+	const sdl = "(tonnage:)"
+
+	code, jj := c.submitAdvise(sdl)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	c.pollJob(jj.ID)
+	if code, _ := c.submitAdvise(sdl); code != http.StatusOK {
+		t.Fatalf("re-submit before append: status %d, want 200 cache hit", code)
+	}
+
+	c.get("/?context=" + sdl)
+	s := c.sessionState(sv)
+	s.mu.Lock()
+	pinned := s.res != nil
+	s.mu.Unlock()
+	if !pinned {
+		t.Fatal("session holds no result before append")
+	}
+
+	if code, payload := c.postAppend(fmt.Sprintf(`{"rows": [%s]}`, vocRowJSON(620))); code != http.StatusOK {
+		t.Fatalf("append: status %d (%v)", code, payload)
+	}
+
+	s.mu.Lock()
+	pinned = s.res != nil
+	s.mu.Unlock()
+	if pinned {
+		t.Fatal("append left a stale result pinned in the session")
+	}
+	code, jj = c.submitAdvise(sdl)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after append: status %d, want 202 cache miss", code)
+	}
+	c.pollJob(jj.ID)
+}
+
+// TestCoerceValueKinds covers the float and bool arms the VOC schema
+// has no columns for.
+func TestCoerceValueKinds(t *testing.T) {
+	if v, err := coerceValue(engine.KindFloat, 2.5); err != nil || v != charles.Float(2.5) {
+		t.Fatalf("float: %v %v", v, err)
+	}
+	if _, err := coerceValue(engine.KindFloat, "2.5"); err == nil {
+		t.Fatal("float accepted a string")
+	}
+	if v, err := coerceValue(engine.KindBool, true); err != nil || v != charles.Bool(true) {
+		t.Fatalf("bool: %v %v", v, err)
+	}
+	if _, err := coerceValue(engine.KindBool, 1.0); err == nil {
+		t.Fatal("bool accepted a number")
+	}
+	if _, err := coerceValue(engine.KindInt, float64(1<<54)); err == nil {
+		t.Fatal("int accepted a value beyond exact float64 range")
+	}
+}

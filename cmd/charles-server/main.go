@@ -196,6 +196,13 @@ type server struct {
 	// measured against.
 	advises atomic.Int64
 
+	// tabMu enforces the engine's mutation contract at the service
+	// boundary: AppendRows must not run concurrently with advises
+	// (mutations serialize on the table's own mutex, but reads take
+	// no lock — see docs/ARCHITECTURE.md). Advises and counts hold
+	// the read side, POST /append holds the write side.
+	tabMu sync.RWMutex
+
 	mu       sync.Mutex
 	sessions map[string]*session
 }
@@ -219,17 +226,38 @@ func newServer(adv *charles.Advisor, initialCtx charles.Query, jopt jobs.Options
 	return sv
 }
 
-// cacheKey is the (canonical context, config fingerprint) identity
-// shared by the result LRU, the sync single-flight and the job
-// queue's coalescing.
+// cacheKey is the (canonical context, config fingerprint, table
+// fingerprint) identity shared by the result LRU, the sync
+// single-flight and the job queue's coalescing. The table
+// fingerprint moves on every mutation, so results advised before an
+// append can never be served after it — stale entries simply stop
+// being addressable and age out of the LRU.
 func (sv *server) cacheKey(ctx charles.Query) string {
-	return ctx.Key() + "\x00" + sv.cfgFP
+	return ctx.Key() + "\x00" + sv.cfgFP + "\x00" + sv.adv.Table().Fingerprint()
 }
 
-// runAdvise executes one real advise, counting it.
+// runAdvise executes one real advise, counting it. The table read
+// lock spans the whole advise — sync or async — so POST /append
+// cannot mutate mid-computation.
 func (sv *server) runAdvise(ctx context.Context, q charles.Query, progress charles.ProgressFunc) (*charles.Result, error) {
 	sv.advises.Add(1)
+	sv.tabMu.RLock()
+	defer sv.tabMu.RUnlock()
 	return sv.adv.AdviseCtx(ctx, q, progress)
+}
+
+// invalidateSessions drops every session's rendered result after a
+// table mutation. The result cache keys on the table fingerprint and
+// misses naturally; sessions, however, pin their last result and
+// would keep rendering pre-mutation advice forever.
+func (sv *server) invalidateSessions() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	for _, s := range sv.sessions {
+		s.mu.Lock()
+		s.res = nil
+		s.mu.Unlock()
+	}
 }
 
 // advise returns the ranked result for ctx, serving repeats — from
@@ -387,6 +415,7 @@ func (sv *server) mux() *http.ServeMux {
 	mux.HandleFunc("/", sv.handleIndex)
 	mux.HandleFunc("/zoom", sv.handleZoom)
 	mux.HandleFunc("/advise", sv.handleAdvise)
+	mux.HandleFunc("/append", sv.handleAppend)
 	mux.HandleFunc("/jobs", sv.handleJobs)
 	mux.HandleFunc("/jobs/", sv.handleJob)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
@@ -525,7 +554,10 @@ func (sv *server) handleZoom(w http.ResponseWriter, r *http.Request) {
 	answer, _ := strconv.Atoi(r.URL.Query().Get("open"))
 	segment, _ := strconv.Atoi(r.URL.Query().Get("segment"))
 	if s.res != nil {
-		if q, err := sv.adv.Zoom(s.res, answer, segment); err == nil {
+		sv.tabMu.RLock()
+		q, err := sv.adv.Zoom(s.res, answer, segment)
+		sv.tabMu.RUnlock()
+		if err == nil {
 			s.ctx = q
 			s.res = nil
 		}
@@ -537,9 +569,11 @@ func (sv *server) handleZoom(w http.ResponseWriter, r *http.Request) {
 func (sv *server) render(w http.ResponseWriter, ctx charles.Query, res *charles.Result, open int, errMsg string) {
 	rows := 0
 	if res != nil {
+		sv.tabMu.RLock()
 		if n, err := sv.adv.Count(ctx); err == nil {
 			rows = n
 		}
+		sv.tabMu.RUnlock()
 	}
 	var pd ui.PageData
 	if res != nil {

@@ -90,7 +90,7 @@ func NewTableFromBackend(b ColumnBackend) (*Table, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("engine: table %q has no columns", name)
 	}
-	t := &Table{name: name, backend: b, byName: make(map[string]int, n)}
+	t := &Table{name: name, backend: b, byName: make(map[string]int, n), id: tableIDs.Add(1)}
 	t.cols = make([]Column, n)
 	t.rows = b.NumRows()
 	for i := 0; i < n; i++ {

@@ -108,8 +108,38 @@ func NewBitmapChunked(cs *ChunkedSelection) *Bitmap {
 	return b
 }
 
+// SpliceBitmap merges a partial re-evaluation into a cached bitmap:
+// dirty chunks take fresh's words, clean chunks keep old's. The
+// result lives in fresh's layout (whose universe may have grown past
+// old's after appends — a clean chunk always existed in old at full
+// width, so its word slice carries over unchanged). The popcount is
+// recomputed from the kept words.
+func SpliceBitmap(old, fresh *Bitmap, dirty []bool) *Bitmap {
+	out := newBitmapShell(fresh.nRows, fresh.chunkRows, len(fresh.chunks))
+	for c := range out.chunks {
+		var words []uint64
+		if dirty[c] || c >= len(old.chunks) {
+			words = fresh.chunks[c]
+		} else {
+			words = old.chunks[c]
+		}
+		if words == nil {
+			continue
+		}
+		out.chunks[c] = words
+		for _, w := range words {
+			out.ones += bits.OnesCount64(w)
+		}
+	}
+	return out
+}
+
 // NumRows returns the universe size the bitmap was built over.
 func (b *Bitmap) NumRows() int { return b.nRows }
+
+// ChunkRows returns the chunk width the bitmap's words are sharded
+// by.
+func (b *Bitmap) ChunkRows() int { return b.chunkRows }
 
 // Count returns the number of selected rows (the popcount).
 func (b *Bitmap) Count() int { return b.ones }

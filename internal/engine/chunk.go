@@ -84,6 +84,9 @@ func (t *Table) SetChunkRows(n int) {
 		return
 	}
 	t.layout.Store(newTableLayout(n, len(t.cols)))
+	// Epoch history is addressed by chunk, so it restarts at the new
+	// width; the version carries over (the data did not change).
+	t.resetStamp(n)
 }
 
 // ChunkRows returns the table's row-range chunk width.
@@ -201,6 +204,13 @@ type ChunkSummary struct {
 
 	// Bool-column presence: which of the two values each chunk holds.
 	boolHasTrue, boolHasFalse []bool
+
+	// stamp is the table epoch stamp the summary was built under; nil
+	// marks a backend-persisted summary, which describes the unmutated
+	// file contents (version 0). A summary is fresh while its stamp's
+	// version matches the table's; after a mutation only the chunks
+	// whose epochs moved are recomputed.
+	stamp *EpochStamp
 }
 
 // IntBounds returns chunk c's [min, max] over the raw column.
@@ -272,21 +282,45 @@ func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
 	default:
 		return nil
 	}
+	cur := t.stamp.Load()
 	if s := lay.summaries[i].Load(); s != nil {
+		if summaryFresh(s, cur) {
+			return s
+		}
+		// Stale: recompute only the chunks whose epochs moved, keeping
+		// the clean chunks' entries. Store, not CAS — a fresher summary
+		// must replace the stale one even though a slot is occupied.
+		s = t.refreshSummary(lay, t.cols[i], s, cur)
+		lay.summaries[i].Store(s)
 		return s
 	}
 	// Precomputed summaries first: a file-backed table ships zone
 	// maps for its native chunk width, which beats re-scanning the
 	// column (and faulting its pages in) just to rediscover them.
-	if t.backend != nil {
+	// They describe the file's contents, so only an unmutated table
+	// (version 0 — the only version a file-backed table can have) may
+	// serve them.
+	if t.backend != nil && cur.version == 0 {
 		if s, ok := t.backend.ChunkSummary(i, lay.chunkRows); ok && s != nil {
 			lay.summaries[i].CompareAndSwap(nil, s)
 			return lay.summaries[i].Load()
 		}
 	}
 	s := t.buildSummary(lay, t.cols[i])
+	s.stamp = cur
 	lay.summaries[i].CompareAndSwap(nil, s)
 	return lay.summaries[i].Load()
+}
+
+// summaryFresh reports whether a cached summary still describes the
+// table at stamp cur. Equal versions mean identical data; a nil
+// summary stamp marks a backend-persisted summary, which is the
+// version-0 contents.
+func summaryFresh(s *ChunkSummary, cur *EpochStamp) bool {
+	if s.stamp == nil {
+		return cur.version == 0
+	}
+	return s.stamp.version == cur.version
 }
 
 // WarmSummaries eagerly builds every column's zone map under the
@@ -303,8 +337,91 @@ func (t *Table) WarmSummaries() int {
 	return n
 }
 
+// intChunkBounds scans one chunk's [lo, hi) rows for min/max.
+func intChunkBounds(col IntValued, lo, hi int) (mn, mx int64) {
+	mn = col.Int64(lo)
+	mx = mn
+	for r := lo + 1; r < hi; r++ {
+		v := col.Int64(r)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// floatChunkBounds scans one chunk for NaN-ignoring min/max and
+// NaN-freedom.
+func floatChunkBounds(col FloatValued, lo, hi int) (mn, mx float64, pure bool) {
+	mn, mx = math.NaN(), math.NaN()
+	pure = true
+	for r := lo; r < hi; r++ {
+		v := col.Float64(r)
+		if v != v { // NaN
+			pure = false
+			continue
+		}
+		if mn != mn || v < mn {
+			mn = v
+		}
+		if mx != mx || v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, pure
+}
+
+// boolChunkPresence scans one chunk for which boolean values occur.
+func boolChunkPresence(col *BoolColumn, lo, hi int) (hasTrue, hasFalse bool) {
+	for r := lo; r < hi; r++ {
+		if col.Bool(r) {
+			hasTrue = true
+		} else {
+			hasFalse = true
+		}
+		if hasTrue && hasFalse {
+			break
+		}
+	}
+	return hasTrue, hasFalse
+}
+
+// stringChunkBits builds one chunk's dense code-presence bitset.
+func stringChunkBits(codes []uint32, lo, hi, words int) []uint64 {
+	bits := make([]uint64, words)
+	for r := lo; r < hi; r++ {
+		code := codes[r]
+		bits[code>>6] |= 1 << (code & 63)
+	}
+	return bits
+}
+
+// stringChunkList builds one chunk's sorted distinct-code list, or
+// reports overflow past the list cap.
+func stringChunkList(codes []uint32, lo, hi int) (list []uint32, overflow bool) {
+	seen := make(map[uint32]struct{}, maxCodeListLen+1)
+	for r := lo; r < hi; r++ {
+		if _, ok := seen[codes[r]]; ok {
+			continue
+		}
+		if len(seen) == maxCodeListLen {
+			return nil, true
+		}
+		seen[codes[r]] = struct{}{}
+	}
+	list = make([]uint32, 0, len(seen))
+	for code := range seen {
+		list = append(list, code)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return list, false
+}
+
 // buildSummary computes the zone map, one chunk per worker-pool
-// task.
+// task. The caller stamps the result.
 func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
 	nc := numChunksFor(t.rows, lay.chunkRows)
 	s := &ChunkSummary{}
@@ -314,18 +431,7 @@ func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
 		s.intMax = make([]int64, nc)
 		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
 			lo, hi := t.chunkBounds(lay, c)
-			mn := col.Int64(lo)
-			mx := mn
-			for r := lo + 1; r < hi; r++ {
-				v := col.Int64(r)
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
-			s.intMin[c], s.intMax[c] = mn, mx
+			s.intMin[c], s.intMax[c] = intChunkBounds(col, lo, hi)
 			return nil
 		})
 	case FloatValued:
@@ -334,22 +440,7 @@ func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
 		s.floatPure = make([]bool, nc)
 		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
 			lo, hi := t.chunkBounds(lay, c)
-			mn, mx := math.NaN(), math.NaN()
-			pure := true
-			for r := lo; r < hi; r++ {
-				v := col.Float64(r)
-				if v != v { // NaN
-					pure = false
-					continue
-				}
-				if mn != mn || v < mn {
-					mn = v
-				}
-				if mx != mx || v > mx {
-					mx = v
-				}
-			}
-			s.floatMin[c], s.floatMax[c], s.floatPure[c] = mn, mx, pure
+			s.floatMin[c], s.floatMax[c], s.floatPure[c] = floatChunkBounds(col, lo, hi)
 			return nil
 		})
 	case *StringColumn:
@@ -359,18 +450,7 @@ func (t *Table) buildSummary(lay *tableLayout, col Column) *ChunkSummary {
 		s.boolHasFalse = make([]bool, nc)
 		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
 			lo, hi := t.chunkBounds(lay, c)
-			var hasTrue, hasFalse bool
-			for r := lo; r < hi; r++ {
-				if col.Bool(r) {
-					hasTrue = true
-				} else {
-					hasFalse = true
-				}
-				if hasTrue && hasFalse {
-					break
-				}
-			}
-			s.boolHasTrue[c], s.boolHasFalse[c] = hasTrue, hasFalse
+			s.boolHasTrue[c], s.boolHasFalse[c] = boolChunkPresence(col, lo, hi)
 			return nil
 		})
 	}
@@ -388,12 +468,7 @@ func (t *Table) buildNominalSummary(lay *tableLayout, s *ChunkSummary, col *Stri
 		words := (s.dictLen + 63) / 64
 		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
 			lo, hi := t.chunkBounds(lay, c)
-			bits := make([]uint64, words)
-			for r := lo; r < hi; r++ {
-				code := codes[r]
-				bits[code>>6] |= 1 << (code & 63)
-			}
-			s.codeBits[c] = bits
+			s.codeBits[c] = stringChunkBits(codes, lo, hi, words)
 			return nil
 		})
 		return
@@ -402,23 +477,101 @@ func (t *Table) buildNominalSummary(lay *tableLayout, s *ChunkSummary, col *Stri
 	s.codeOverflow = make([]bool, nc)
 	_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
 		lo, hi := t.chunkBounds(lay, c)
-		seen := make(map[uint32]struct{}, maxCodeListLen+1)
-		for r := lo; r < hi; r++ {
-			if _, ok := seen[codes[r]]; ok {
-				continue
-			}
-			if len(seen) == maxCodeListLen {
-				s.codeOverflow[c] = true
-				return nil
-			}
-			seen[codes[r]] = struct{}{}
-		}
-		list := make([]uint32, 0, len(seen))
-		for code := range seen {
-			list = append(list, code)
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		s.codeList[c] = list
+		s.codeList[c], s.codeOverflow[c] = stringChunkList(codes, lo, hi)
 		return nil
 	})
+}
+
+// refreshSummary brings a stale summary up to stamp cur, rescanning
+// only the chunks whose epochs moved and keeping the clean chunks'
+// entries. It falls back to a full rebuild when the stamps are not
+// chunk-comparable (width change, backend summary after mutation) or
+// when a string column's dictionary grew — the presence encoding is
+// sized and shaped by the dictionary, so clean chunks' bitsets would
+// not line up with the new code space.
+func (t *Table) refreshSummary(lay *tableLayout, col Column, old *ChunkSummary, cur *EpochStamp) *ChunkSummary {
+	var dirty []bool
+	if cur.chunkRows == lay.chunkRows {
+		if d, ok := cur.DirtyVs(old.stamp); ok {
+			dirty = d
+		}
+	}
+	if sc, isStr := col.(*StringColumn); isStr && sc.Cardinality() != old.dictLen {
+		dirty = nil
+	}
+	if dirty == nil {
+		s := t.buildSummary(lay, col)
+		s.stamp = cur
+		return s
+	}
+	nc := numChunksFor(t.rows, lay.chunkRows)
+	s := &ChunkSummary{stamp: cur}
+	switch col := col.(type) {
+	case IntValued:
+		s.intMin = make([]int64, nc)
+		s.intMax = make([]int64, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			if !dirty[c] {
+				s.intMin[c], s.intMax[c] = old.intMin[c], old.intMax[c]
+				return nil
+			}
+			lo, hi := t.chunkBounds(lay, c)
+			s.intMin[c], s.intMax[c] = intChunkBounds(col, lo, hi)
+			return nil
+		})
+	case FloatValued:
+		s.floatMin = make([]float64, nc)
+		s.floatMax = make([]float64, nc)
+		s.floatPure = make([]bool, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			if !dirty[c] {
+				s.floatMin[c], s.floatMax[c], s.floatPure[c] = old.floatMin[c], old.floatMax[c], old.floatPure[c]
+				return nil
+			}
+			lo, hi := t.chunkBounds(lay, c)
+			s.floatMin[c], s.floatMax[c], s.floatPure[c] = floatChunkBounds(col, lo, hi)
+			return nil
+		})
+	case *StringColumn:
+		s.dictLen = old.dictLen
+		codes := col.Codes()
+		if old.codeBits != nil {
+			s.codeBits = make([][]uint64, nc)
+			words := (s.dictLen + 63) / 64
+			_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+				if !dirty[c] {
+					s.codeBits[c] = old.codeBits[c]
+					return nil
+				}
+				lo, hi := t.chunkBounds(lay, c)
+				s.codeBits[c] = stringChunkBits(codes, lo, hi, words)
+				return nil
+			})
+		} else {
+			s.codeList = make([][]uint32, nc)
+			s.codeOverflow = make([]bool, nc)
+			_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+				if !dirty[c] {
+					s.codeList[c], s.codeOverflow[c] = old.codeList[c], old.codeOverflow[c]
+					return nil
+				}
+				lo, hi := t.chunkBounds(lay, c)
+				s.codeList[c], s.codeOverflow[c] = stringChunkList(codes, lo, hi)
+				return nil
+			})
+		}
+	case *BoolColumn:
+		s.boolHasTrue = make([]bool, nc)
+		s.boolHasFalse = make([]bool, nc)
+		_ = par.ForEach(ScanWorkers(), nc, func(c int) error {
+			if !dirty[c] {
+				s.boolHasTrue[c], s.boolHasFalse[c] = old.boolHasTrue[c], old.boolHasFalse[c]
+				return nil
+			}
+			lo, hi := t.chunkBounds(lay, c)
+			s.boolHasTrue[c], s.boolHasFalse[c] = boolChunkPresence(col, lo, hi)
+			return nil
+		})
+	}
+	return s
 }

@@ -82,6 +82,80 @@ func (cs *ChunkedSelection) Len() int { return cs.count }
 // mutated.
 func (cs *ChunkedSelection) Seg(c int) Selection { return cs.segs[c] }
 
+// PartialIdentity returns the chunked selection holding every row of
+// the dirty chunks and none of the clean ones: the starting universe
+// for re-evaluating a cached query over only the chunks a mutation
+// touched. One backing array serves all segments. len(dirty) must be
+// ceil(nRows/chunkRows).
+func PartialIdentity(nRows, chunkRows int, dirty []bool) *ChunkedSelection {
+	nc := numChunksFor(nRows, chunkRows)
+	total := 0
+	for c := 0; c < nc; c++ {
+		if dirty[c] {
+			lo := c * chunkRows
+			hi := lo + chunkRows
+			if hi > nRows {
+				hi = nRows
+			}
+			total += hi - lo
+		}
+	}
+	backing := make(Selection, total)
+	segs := make([]Selection, nc)
+	at := 0
+	for c := 0; c < nc; c++ {
+		if !dirty[c] {
+			continue
+		}
+		lo := c * chunkRows
+		hi := lo + chunkRows
+		if hi > nRows {
+			hi = nRows
+		}
+		seg := backing[at : at+(hi-lo) : at+(hi-lo)]
+		for i := range seg {
+			seg[i] = int32(lo + i)
+		}
+		segs[c] = seg
+		at += hi - lo
+	}
+	return &ChunkedSelection{nRows: nRows, chunkRows: chunkRows, count: total, segs: segs}
+}
+
+// SpliceChunked merges a partial re-evaluation into a cached result:
+// dirty chunks take fresh's segments, clean chunks keep old's. fresh
+// must cover the current universe (its nRows may exceed old's after
+// appends); a clean chunk is by construction one that existed in old
+// with unchanged data, so old's segment for it is still exact.
+func SpliceChunked(old, fresh *ChunkedSelection, dirty []bool) *ChunkedSelection {
+	nc := fresh.NumChunks()
+	segs := make([]Selection, nc)
+	for c := 0; c < nc; c++ {
+		if dirty[c] || c >= old.NumChunks() {
+			segs[c] = fresh.Seg(c)
+		} else {
+			segs[c] = old.Seg(c)
+		}
+	}
+	return NewChunkedSelection(fresh.NumRows(), fresh.ChunkRows(), segs)
+}
+
+// RestrictChunked returns cs with every clean chunk's segment
+// emptied: the dirty-chunk portion of a parent selection, for
+// narrowing re-evaluation to the rows a mutation could have
+// affected. len(dirty) must be cs.NumChunks().
+func RestrictChunked(cs *ChunkedSelection, dirty []bool) *ChunkedSelection {
+	segs := make([]Selection, cs.NumChunks())
+	count := 0
+	for c := range segs {
+		if dirty[c] {
+			segs[c] = cs.Seg(c)
+			count += len(segs[c])
+		}
+	}
+	return &ChunkedSelection{nRows: cs.nRows, chunkRows: cs.chunkRows, count: count, segs: segs}
+}
+
 // Flat materializes (once) and returns the selection's flat sorted
 // view — the concatenation of the segments in chunk order. Must not
 // be mutated. Concurrent first calls may both build it; the results

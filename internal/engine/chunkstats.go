@@ -428,3 +428,161 @@ func BoolValueCountsChunked(col *BoolColumn, cs *ChunkedSelection) []stats.Value
 	}
 	return out
 }
+
+// IntSortedRuns gathers col over cs into one freshly allocated sorted
+// slice per chunk — the retainable form of the cut-point math that
+// the incremental-advise cut cache keeps across advises. Unlike
+// gatherIntScratch the shards are owned by the caller and must be
+// treated as immutable once returned (they may be shared between an
+// old and a spliced cache entry).
+func IntSortedRuns(col IntValued, cs *ChunkedSelection) [][]int64 {
+	runs := GatherIntChunked(col, cs)
+	workers, release := statWorkers(cs)
+	defer release()
+	stats.SortInt64Chunks(runs, workers)
+	return runs
+}
+
+// IntSortedRunsSplice refreshes cached sorted runs after a mutation:
+// dirty chunks are re-gathered from the current selection and
+// re-sorted, clean chunks reuse the old runs unchanged. Sound for the
+// same reason selection splicing is — a selection restricted to a
+// clean chunk is a pure function of that chunk's unchanged rows, so
+// its sorted value multiset cannot have moved. ok is false when a
+// clean chunk's cached run does not match the current selection's
+// segment length (a structural mismatch; the caller must recompute in
+// full).
+func IntSortedRunsSplice(col IntValued, cs *ChunkedSelection, old [][]int64, dirty []bool) (runs [][]int64, ok bool) {
+	nc := cs.NumChunks()
+	if len(dirty) != nc {
+		return nil, false
+	}
+	runs = make([][]int64, nc)
+	for c := 0; c < nc; c++ {
+		if dirty[c] {
+			continue
+		}
+		if c >= len(old) || len(old[c]) != len(cs.Seg(c)) {
+			return nil, false
+		}
+		runs[c] = old[c]
+	}
+	fresh := IntSortedRuns(col, RestrictChunked(cs, dirty))
+	for c := 0; c < nc; c++ {
+		if dirty[c] {
+			runs[c] = fresh[c]
+		}
+	}
+	return runs, true
+}
+
+// IntRunsBounds returns the minimum and maximum over sorted runs —
+// the run endpoints, no scan. ok is false when every run is empty.
+func IntRunsBounds(runs [][]int64) (min, max int64, ok bool) {
+	for _, r := range runs {
+		if len(r) == 0 {
+			continue
+		}
+		if !ok {
+			min, max, ok = r[0], r[len(r)-1], true
+			continue
+		}
+		if r[0] < min {
+			min = r[0]
+		}
+		if r[len(r)-1] > max {
+			max = r[len(r)-1]
+		}
+	}
+	return min, max, ok
+}
+
+// IntCutPointsSorted is IntCutPointsChunked over already-sorted runs:
+// pure rank selection, no gather and no sort. The equi-depth points
+// of a multiset do not depend on its sharding or on who sorted it, so
+// the result is byte-identical to the scratch-based computation.
+func IntCutPointsSorted(runs [][]int64, arity int) []int64 {
+	return stats.EquiDepthPointsSorted(runs, arity)
+}
+
+// StringChunkCounts returns per-chunk value frequencies of col over
+// cs, indexed by dictionary code: counts[c][code]. This is the
+// splice-friendly decomposition of StringValueCountsChunked — counts
+// are additive over chunks, so a mutation only invalidates the dirty
+// chunks' vectors. The vectors are owned by the caller and must be
+// treated as immutable once returned.
+func StringChunkCounts(col *StringColumn, cs *ChunkedSelection) [][]int {
+	codes := col.Codes()
+	card := col.Cardinality()
+	nc := cs.NumChunks()
+	counts := make([][]int, nc)
+	forEachSeg(cs, func(c int) {
+		seg := cs.Seg(c)
+		if len(seg) == 0 {
+			return
+		}
+		v := make([]int, card)
+		for _, row := range seg {
+			v[codes[row]]++
+		}
+		counts[c] = v
+	})
+	return counts
+}
+
+// StringChunkCountsSplice refreshes cached per-chunk counts after a
+// mutation: dirty chunks are recounted (at the current, possibly
+// grown cardinality), clean chunks keep their vectors. A clean
+// chunk's vector may be shorter than the current cardinality — codes
+// minted after it was counted cannot occur in an unchanged chunk, so
+// the missing tail is implicitly zero. ok is false on a structural
+// mismatch.
+func StringChunkCountsSplice(col *StringColumn, cs *ChunkedSelection, old [][]int, dirty []bool) (counts [][]int, ok bool) {
+	nc := cs.NumChunks()
+	if len(dirty) != nc {
+		return nil, false
+	}
+	counts = make([][]int, nc)
+	for c := 0; c < nc; c++ {
+		if dirty[c] {
+			continue
+		}
+		if c >= len(old) {
+			return nil, false
+		}
+		n := 0
+		for _, k := range old[c] {
+			n += k
+		}
+		if n != len(cs.Seg(c)) {
+			return nil, false
+		}
+		counts[c] = old[c]
+	}
+	fresh := StringChunkCounts(col, RestrictChunked(cs, dirty))
+	for c := 0; c < nc; c++ {
+		if dirty[c] {
+			counts[c] = fresh[c]
+		}
+	}
+	return counts, true
+}
+
+// StringCountsFromChunks reduces per-chunk count vectors to the exact
+// []ValueCount StringValueCountsChunked returns: summed per code, in
+// dictionary-code order, zero-count values dropped.
+func StringCountsFromChunks(col *StringColumn, counts [][]int) []stats.ValueCount {
+	totals := make([]int, col.Cardinality())
+	for _, v := range counts {
+		for code, n := range v {
+			totals[code] += n
+		}
+	}
+	out := make([]stats.ValueCount, 0, len(totals))
+	for code, n := range totals {
+		if n > 0 {
+			out = append(out, stats.ValueCount{Value: col.DictValue(uint32(code)), Count: n})
+		}
+	}
+	return out
+}

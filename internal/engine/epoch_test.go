@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// mutTable builds a small memory-backed table with every mutable
+// column kind, chunked at the minimum width so mutations land in
+// interesting chunks.
+func mutTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	strs := make([]string, rows)
+	bools := make([]bool, rows)
+	days := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		ints[i] = int64(i % 7)
+		floats[i] = float64(i%5) / 2
+		strs[i] = [3]string{"red", "green", "blue"}[i%3]
+		bools[i] = i%2 == 0
+		days[i] = int64(1000 + i%11)
+	}
+	tab := MustNewTable("m",
+		NewIntColumn("n", ints),
+		NewFloatColumn("x", floats),
+		NewStringColumn("color", strs),
+		NewBoolColumn("flag", bools),
+		NewDateColumn("day", days),
+	)
+	tab.SetChunkRows(minChunkRows)
+	return tab
+}
+
+func sampleRow(tab *Table, r int) []Value {
+	row := make([]Value, tab.NumCols())
+	for i := 0; i < tab.NumCols(); i++ {
+		row[i] = tab.Column(i).Value(r)
+	}
+	return row
+}
+
+func TestAppendRowsDirtiesOnlyTail(t *testing.T) {
+	tab := mutTable(t, 3*minChunkRows) // 3 full chunks
+	before := tab.Stamp()
+	if before.Version() != 0 || before.NumChunks() != 3 {
+		t.Fatalf("fresh stamp: version=%d chunks=%d", before.Version(), before.NumChunks())
+	}
+	// Append half a chunk: creates chunk 3, leaves 0..2 untouched.
+	rows := make([][]Value, minChunkRows/2)
+	for i := range rows {
+		rows[i] = sampleRow(tab, i)
+	}
+	if err := tab.AppendRows(rows...); err != nil {
+		t.Fatal(err)
+	}
+	cur := tab.Stamp()
+	if cur.Version() != 1 {
+		t.Fatalf("version after append = %d, want 1", cur.Version())
+	}
+	if got := tab.NumRows(); got != 3*minChunkRows+minChunkRows/2 {
+		t.Fatalf("rows = %d", got)
+	}
+	dirty, ok := cur.DirtyVs(before)
+	if !ok {
+		t.Fatal("stamps not comparable")
+	}
+	want := []bool{false, false, false, true}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty len = %d, want %d", len(dirty), len(want))
+	}
+	for c := range want {
+		if dirty[c] != want[c] {
+			t.Fatalf("dirty[%d] = %v, want %v", c, dirty[c], want[c])
+		}
+	}
+	// Append into the partial tail: only chunk 3 dirties again.
+	mid := tab.Stamp()
+	if err := tab.AppendRows(sampleRow(tab, 0)); err != nil {
+		t.Fatal(err)
+	}
+	dirty, ok = tab.Stamp().DirtyVs(mid)
+	if !ok || dirty[3] != true || dirty[0] || dirty[1] || dirty[2] {
+		t.Fatalf("partial-tail append dirty = %v ok=%v", dirty, ok)
+	}
+}
+
+func TestUpdateRowsDirtiesTouchedChunks(t *testing.T) {
+	tab := mutTable(t, 4*minChunkRows)
+	before := tab.Stamp()
+	// Touch one row in chunk 1 and one in chunk 3.
+	sel := Selection{int32(minChunkRows + 5), int32(3*minChunkRows + 7)}
+	vals := []Value{Int(99), Int(100)}
+	if err := tab.UpdateRows(sel, "n", vals); err != nil {
+		t.Fatal(err)
+	}
+	dirty, ok := tab.Stamp().DirtyVs(before)
+	if !ok {
+		t.Fatal("stamps not comparable")
+	}
+	want := []bool{false, true, false, true}
+	for c := range want {
+		if dirty[c] != want[c] {
+			t.Fatalf("dirty = %v, want %v", dirty, want)
+		}
+	}
+	col := tab.MustColumn("n").(*IntColumn)
+	if col.Int64(minChunkRows+5) != 99 || col.Int64(3*minChunkRows+7) != 100 {
+		t.Fatal("update did not land")
+	}
+}
+
+func TestMutationValidationIsAllOrNothing(t *testing.T) {
+	tab := mutTable(t, minChunkRows)
+	before := tab.Stamp()
+	fpBefore := tab.Fingerprint()
+
+	// Wrong arity.
+	if err := tab.AppendRows([]Value{Int(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	// Wrong kind in the second row: the first must not be applied.
+	good := sampleRow(tab, 0)
+	bad := sampleRow(tab, 1)
+	bad[0] = Float(1.5)
+	if err := tab.AppendRows(good, bad); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	// Update: out-of-range row, wrong kind, wrong length, bad column.
+	if err := tab.UpdateRows(Selection{int32(tab.NumRows())}, "n", []Value{Int(1)}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if err := tab.UpdateRows(Selection{0}, "n", []Value{String_("no")}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := tab.UpdateRows(Selection{0, 1}, "n", []Value{Int(1)}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := tab.UpdateRows(Selection{0}, "nope", []Value{Int(1)}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+
+	if tab.NumRows() != minChunkRows {
+		t.Fatalf("failed mutations changed row count to %d", tab.NumRows())
+	}
+	if tab.Stamp() != before {
+		t.Fatal("failed mutations advanced the stamp")
+	}
+	if tab.Fingerprint() != fpBefore {
+		t.Fatal("failed mutations changed the fingerprint")
+	}
+}
+
+func TestFingerprintChangesPerMutationOnly(t *testing.T) {
+	tab := mutTable(t, minChunkRows)
+	fp0 := tab.Fingerprint()
+	if fp0 != tab.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	other := mutTable(t, minChunkRows)
+	if other.Fingerprint() == fp0 {
+		t.Fatal("distinct tables share a fingerprint")
+	}
+	if err := tab.AppendRows(sampleRow(tab, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fp1 := tab.Fingerprint()
+	if fp1 == fp0 {
+		t.Fatal("append did not change the fingerprint")
+	}
+	if err := tab.UpdateRows(Selection{0}, "n", []Value{Int(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Fingerprint() == fp1 {
+		t.Fatal("update did not change the fingerprint")
+	}
+	// Empty mutations are no-ops.
+	fp2 := tab.Fingerprint()
+	if err := tab.AppendRows(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.UpdateRows(nil, "n", nil); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Fingerprint() != fp2 {
+		t.Fatal("empty mutation changed the fingerprint")
+	}
+}
+
+// TestSummaryRefreshAfterMutation pins that zone maps rebuilt after
+// a mutation describe the new data — and that clean chunks keep
+// their entries (pointer equality on the backing slices is not
+// observable, so correctness of bounds is what is checked).
+func TestSummaryRefreshAfterMutation(t *testing.T) {
+	tab := mutTable(t, 2*minChunkRows)
+	i := 0 // column "n"
+	s := tab.Summary(i)
+	if _, hi := s.IntBounds(0); hi != 6 {
+		t.Fatalf("initial bounds wrong: hi=%d", hi)
+	}
+	// Push a new maximum into chunk 0.
+	if err := tab.UpdateRows(Selection{3}, "n", []Value{Int(500)}); err != nil {
+		t.Fatal(err)
+	}
+	s = tab.Summary(i)
+	if _, hi := s.IntBounds(0); hi != 500 {
+		t.Fatalf("chunk 0 bounds not refreshed: hi=%d", hi)
+	}
+	if _, hi := s.IntBounds(1); hi != 6 {
+		t.Fatalf("clean chunk 1 bounds corrupted: hi=%d", hi)
+	}
+	// Append rows extending the table into a new chunk with a new
+	// minimum; the new chunk's bounds must appear.
+	row := sampleRow(tab, 0)
+	row[0] = Int(-50)
+	var rows [][]Value
+	for r := 0; r < minChunkRows; r++ {
+		rows = append(rows, row)
+	}
+	if err := tab.AppendRows(rows...); err != nil {
+		t.Fatal(err)
+	}
+	s = tab.Summary(i)
+	if lo, _ := s.IntBounds(2); lo != -50 {
+		t.Fatalf("appended chunk bounds wrong: lo=%d", lo)
+	}
+	// String summary: a new dictionary value forces a full nominal
+	// rebuild sized to the grown dictionary.
+	sc := tab.MustColumn("color").(*StringColumn)
+	oldCard := sc.Cardinality()
+	row2 := sampleRow(tab, 0)
+	row2[2] = String_("chartreuse")
+	if err := tab.AppendRows(row2); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cardinality() != oldCard+1 {
+		t.Fatalf("dictionary did not grow: %d", sc.Cardinality())
+	}
+	if s := tab.Summary(2); s == nil || !s.HasNominal() {
+		t.Fatal("nominal summary missing after dict growth")
+	}
+}
+
+// readonlyBackend wraps MemoryBackend but is a distinct type, so the
+// mutation gate must refuse it.
+type readonlyBackend struct{ *MemoryBackend }
+
+func TestMutationRefusedOffMemoryBackend(t *testing.T) {
+	mb := NewMemoryBackend("ro", NewIntColumn("n", []int64{1, 2, 3}))
+	tab, err := NewTableFromBackend(readonlyBackend{mb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRows([]Value{Int(4)}); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("append on non-memory backend: err=%v", err)
+	}
+	if err := tab.UpdateRows(Selection{0}, "n", []Value{Int(9)}); err == nil {
+		t.Fatal("update on non-memory backend accepted")
+	}
+}
+
+func TestSetChunkRowsResetsEpochWidth(t *testing.T) {
+	tab := mutTable(t, 4*minChunkRows)
+	if err := tab.AppendRows(sampleRow(tab, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Stamp()
+	tab.SetChunkRows(2 * minChunkRows)
+	cur := tab.Stamp()
+	if cur.ChunkRows() != 2*minChunkRows {
+		t.Fatalf("stamp width = %d", cur.ChunkRows())
+	}
+	if cur.Version() != before.Version() {
+		t.Fatal("re-shard changed the version (data did not change)")
+	}
+	if _, ok := cur.DirtyVs(before); ok {
+		t.Fatal("stamps across a width change must not be chunk-comparable")
+	}
+	// Same-width SetChunkRows is a no-op and keeps the stamp.
+	tab.SetChunkRows(2 * minChunkRows)
+	if tab.Stamp() != cur {
+		t.Fatal("no-op SetChunkRows replaced the stamp")
+	}
+}

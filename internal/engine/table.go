@@ -2,13 +2,17 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
-// Table is one immutable relation: a set of equal-length columns
-// with unique names. Charles restricts itself to a single relation
-// (Section 2), so the table is the whole database as far as the
-// advisor is concerned.
+// Table is one relation: a set of equal-length columns with unique
+// names. Charles restricts itself to a single relation (Section 2),
+// so the table is the whole database as far as the advisor is
+// concerned. The schema is fixed at construction; memory-backed
+// tables additionally accept row mutation (AppendRows, UpdateRows),
+// tracked per chunk by an epoch stamp so derived state invalidates
+// at chunk granularity rather than wholesale.
 //
 // Physically the table is sharded by row range into fixed-width
 // chunks (SetChunkRows): chunks are the unit of parallel scanning
@@ -22,9 +26,23 @@ type Table struct {
 	rows    int
 	backend ColumnBackend
 
+	// id is process-unique; it anchors Fingerprint so two tables can
+	// never alias each other's cache entries.
+	id uint64
+
+	// mu serializes mutations against each other (not against reads:
+	// mutation is not concurrent with advising, see AppendRows).
+	mu sync.Mutex
+
 	// layout is the current chunk design (width + per-column zone
 	// maps), swapped atomically as one unit by SetChunkRows.
 	layout atomic.Pointer[tableLayout]
+
+	// stamp is the current epoch stamp (version + per-chunk epochs),
+	// swapped as one immutable unit by every mutation; fp caches the
+	// fingerprint string for the current version.
+	stamp atomic.Pointer[EpochStamp]
+	fp    atomic.Pointer[string]
 }
 
 // NewTable builds a table from in-memory columns, validating that

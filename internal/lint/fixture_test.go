@@ -117,6 +117,7 @@ func TestNoPanicFixture(t *testing.T)        { runFixture(t, lint.NoPanic, "nopa
 func TestPooledEscapeFixture(t *testing.T)   { runFixture(t, lint.PooledEscape, "pooledescape") }
 func TestMapDeterminismFixture(t *testing.T) { runFixture(t, lint.MapDeterminism, "mapdeterminism") }
 func TestMmapLifeFixture(t *testing.T)       { runFixture(t, lint.MmapLife, "mmaplife") }
+func TestEpochKeyFixture(t *testing.T)       { runFixture(t, lint.EpochKey, "epochkey") }
 
 // TestFixtureForEveryAnalyzer pins the suite non-vacuous as it
 // grows: an analyzer without a fixture directory cannot prove it
@@ -151,6 +152,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.MmapLife, "charles/internal/engine", true},
 		{lint.MmapLife, "charles/cmd/charles-server", true},
 		{lint.MmapLife, "charles/internal/colfile", false}, // it hands the views out
+		{lint.EpochKey, "charles/internal/seg", true},
+		{lint.EpochKey, "charles", true},
+		{lint.EpochKey, "charles/internal/engine", false}, // it defines the stamps and their nil sentinels
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.pkg); got != c.applies {

@@ -67,42 +67,26 @@ func CutQuery(ev *Evaluator, q sdl.Query, attr string, opt CutOptions) ([]sdl.Qu
 	}
 	// Sampled cut points draw a systematic sample from the flat view;
 	// exact ones run shard-at-a-time on the chunked selection and
-	// never materialize it.
+	// never materialize it. (Nominal cuts always see the full extent
+	// regardless: a sampled dictionary could miss rare values, and
+	// rows holding them would fall outside every piece, breaking
+	// Definition 3. Counting is a single O(n) pass, so there is
+	// nothing to save anyway — sampling targets the sort-based
+	// medians.)
 	var pointSel engine.Selection
 	if opt.SampleSize > 0 && cs.Len() > opt.SampleSize {
 		pointSel = stats.StridedInt32(cs.Flat(), opt.SampleSize)
 	}
-	var pieces []sdl.Constraint
-	switch col := col.(type) {
-	case *engine.StringColumn:
-		// Nominal cuts always see the full extent: a sampled
-		// dictionary could miss rare values, and rows holding them
-		// would fall outside every piece, breaking Definition 3.
-		// Counting is a single O(n) pass, so there is nothing to
-		// save anyway — sampling targets the sort-based medians.
-		pieces, err = nominalPieces(attr, engine.StringValueCountsChunked(col, cs), stringSetValue, opt)
-	case *engine.BoolColumn:
-		pieces, err = nominalPieces(attr, engine.BoolValueCountsChunked(col, cs), boolSetValue, opt)
-	case *engine.FloatColumn:
-		pieces, err = floatPieces(attr, col, cs, pointSel, opt)
-		if err == nil && len(pieces) < 2 {
-			pieces = numericNominalFallback(attr, col, cs.Flat(), opt)
-		}
-	case engine.IntValued:
-		pieces, err = intPieces(attr, col, cs, pointSel, opt)
-		if err == nil && len(pieces) < 2 {
-			pieces = numericNominalFallback(attr, col, cs.Flat(), opt)
-		}
-	default:
-		return nil, fmt.Errorf("seg: cannot cut column %q of kind %v", attr, col.Kind())
-	}
+	// All piece computation routes through the evaluator's cut-point
+	// cache: version-equal entries are served outright, stale exact
+	// entries refresh only the mutation-dirtied chunks.
+	pieces, err := ev.cutPieces(q, attr, col, cs, pointSel, opt)
 	if err != nil {
 		return nil, err
 	}
 	if len(pieces) < 2 {
 		return []sdl.Query{q}, nil // degenerate: constant within extent
 	}
-	ev.cutPointCalcs.Add(1)
 	out := make([]sdl.Query, 0, len(pieces))
 	for _, piece := range pieces {
 		child, nonEmpty, err := childQuery(q, piece)
@@ -155,6 +139,13 @@ func intPieces(attr string, col engine.IntValued, cs *engine.ChunkedSelection, p
 	if len(points) == 0 {
 		return nil, nil
 	}
+	return intRangePieces(attr, col, min, max, points), nil
+}
+
+// intRangePieces assembles the half-open range constraints for the
+// bounds [min, p0), [p0, p1), ..., [p_last, max] — the shared tail of
+// the scratch-based and cached-run int cut paths.
+func intRangePieces(attr string, col engine.IntValued, min, max int64, points []int64) []sdl.Constraint {
 	mk := func(days int64) engine.Value {
 		if col.Kind() == engine.KindDate {
 			return engine.Date(days)
@@ -173,7 +164,13 @@ func intPieces(attr string, col engine.IntValued, cs *engine.ChunkedSelection, p
 		}
 		out = append(out, c)
 	}
-	return out, nil
+	return out
+}
+
+// errCutKind is the uncuttable-column error both the cached and
+// uncached dispatch return.
+func errCutKind(attr string, col engine.Column) error {
+	return fmt.Errorf("seg: cannot cut column %q of kind %v", attr, col.Kind())
 }
 
 // clampIntPoints drops sampled cut points that fall outside the

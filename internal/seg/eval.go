@@ -31,6 +31,15 @@ type Counters struct {
 	// operation Section 5.1 calls the vertical-scalability
 	// bottleneck.
 	CutPointCalcs int
+	// DeltaRefreshes counts cached selections brought up to date by
+	// re-evaluating only the mutation-dirtied chunks and splicing
+	// them into the cached clean segments — the incremental-advise
+	// path, neither a full eval nor a plain hit.
+	DeltaRefreshes int
+	// CutRefreshes counts cached cut points brought up to date the
+	// same way: dirty chunks re-gathered and re-sorted (or
+	// recounted), clean chunks' sorted runs and count vectors reused.
+	CutRefreshes int
 }
 
 // cacheShards is the number of independent lock stripes of the
@@ -38,19 +47,37 @@ type Counters struct {
 // worker count while the per-shard maps stay dense.
 const cacheShards = 32
 
+// cachedSel is one selection cache entry: the result plus the table
+// epoch stamp it was evaluated under. The stamp is what keeps a
+// cache correct across table mutation — equal versions mean the
+// entry is exact, and a moved version tells the evaluator precisely
+// which chunks to re-evaluate (DirtyVs) before serving it again.
+// Never cache a bare selection: without its stamp a stale entry is
+// indistinguishable from a fresh one.
+type cachedSel struct {
+	cs    *engine.ChunkedSelection
+	stamp *engine.EpochStamp
+}
+
+// cachedBitmap is cachedSel for the word-packed form.
+type cachedBitmap struct {
+	bm    *engine.Bitmap
+	stamp *engine.EpochStamp
+}
+
 // cacheShard is one lock stripe of the selection cache. Selections
 // are cached in their chunked form; the flat view every chunked
 // selection lazily carries means vector consumers share the same
 // cache entries.
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string]*engine.ChunkedSelection
+	m  map[string]cachedSel
 }
 
 // bitmapShard is one lock stripe of the packed-selection cache.
 type bitmapShard struct {
 	mu sync.RWMutex
-	m  map[string]*engine.Bitmap
+	m  map[string]cachedBitmap
 }
 
 // cacheSeed keys the shard hash; shared by all evaluators so shard
@@ -73,7 +100,12 @@ type Evaluator struct {
 	tab      *engine.Table
 	shards   [cacheShards]cacheShard
 	bmShards [cacheShards]bitmapShard
-	caching  atomic.Bool
+	// cutMu guards cuts, the cut-point cache (cutcache.go). Cut
+	// entries are far fewer and far larger than selections — sorted
+	// value runs, not row ids — so one stripe suffices.
+	cutMu   sync.RWMutex
+	cuts    map[string]cachedCut
+	caching atomic.Bool
 	// zonePruning gates the zone-map verdicts (numeric bounds and
 	// nominal presence alike). On by default; the off position is the
 	// equivalence ablation — output must be byte-identical either
@@ -89,20 +121,22 @@ type Evaluator struct {
 	// it so user-supplied contexts cannot grow memory without bound.
 	limit atomic.Int64
 
-	fullEvals     atomic.Int64
-	narrowEvals   atomic.Int64
-	cacheHits     atomic.Int64
-	cutPointCalcs atomic.Int64
+	fullEvals      atomic.Int64
+	narrowEvals    atomic.Int64
+	cacheHits      atomic.Int64
+	cutPointCalcs  atomic.Int64
+	deltaRefreshes atomic.Int64
+	cutRefreshes   atomic.Int64
 }
 
 // NewEvaluator returns a caching evaluator over t.
 func NewEvaluator(t *engine.Table) *Evaluator {
-	e := &Evaluator{tab: t}
+	e := &Evaluator{tab: t, cuts: make(map[string]cachedCut)}
 	for i := range e.shards {
-		e.shards[i].m = make(map[string]*engine.ChunkedSelection)
+		e.shards[i].m = make(map[string]cachedSel)
 	}
 	for i := range e.bmShards {
-		e.bmShards[i].m = make(map[string]*engine.Bitmap)
+		e.bmShards[i].m = make(map[string]cachedBitmap)
 	}
 	e.caching.Store(true)
 	e.zonePruning.Store(true)
@@ -119,9 +153,9 @@ func (e *Evaluator) SetZonePruning(on bool) { e.zonePruning.Store(on) }
 func (e *Evaluator) Table() *engine.Table { return e.tab }
 
 // allRows returns the shared chunked identity selection, rebuilding
-// it when the table was re-sharded since it was built.
+// it when the table was re-sharded — or grew — since it was built.
 func (e *Evaluator) allRows() *engine.ChunkedSelection {
-	if cs := e.identity.Load(); cs != nil && cs.ChunkRows() == e.tab.ChunkRows() {
+	if cs := e.identity.Load(); cs != nil && cs.ChunkRows() == e.tab.ChunkRows() && cs.NumRows() == e.tab.NumRows() {
 		return cs
 	}
 	cs := e.tab.AllChunked()
@@ -150,25 +184,30 @@ func (e *Evaluator) SetCaching(on bool) {
 		for i := range e.shards {
 			s := &e.shards[i]
 			s.mu.Lock()
-			s.m = make(map[string]*engine.ChunkedSelection)
+			s.m = make(map[string]cachedSel)
 			s.mu.Unlock()
 		}
 		for i := range e.bmShards {
 			s := &e.bmShards[i]
 			s.mu.Lock()
-			s.m = make(map[string]*engine.Bitmap)
+			s.m = make(map[string]cachedBitmap)
 			s.mu.Unlock()
 		}
+		e.cutMu.Lock()
+		e.cuts = make(map[string]cachedCut)
+		e.cutMu.Unlock()
 	}
 }
 
 // Counters returns a snapshot of the instrumentation counters.
 func (e *Evaluator) Counters() Counters {
 	return Counters{
-		FullEvals:     int(e.fullEvals.Load()),
-		NarrowEvals:   int(e.narrowEvals.Load()),
-		CacheHits:     int(e.cacheHits.Load()),
-		CutPointCalcs: int(e.cutPointCalcs.Load()),
+		FullEvals:      int(e.fullEvals.Load()),
+		NarrowEvals:    int(e.narrowEvals.Load()),
+		CacheHits:      int(e.cacheHits.Load()),
+		CutPointCalcs:  int(e.cutPointCalcs.Load()),
+		DeltaRefreshes: int(e.deltaRefreshes.Load()),
+		CutRefreshes:   int(e.cutRefreshes.Load()),
 	}
 }
 
@@ -178,6 +217,8 @@ func (e *Evaluator) ResetCounters() {
 	e.narrowEvals.Store(0)
 	e.cacheHits.Store(0)
 	e.cutPointCalcs.Store(0)
+	e.deltaRefreshes.Store(0)
+	e.cutRefreshes.Store(0)
 }
 
 // CacheLen returns the number of cached selections.
@@ -197,13 +238,14 @@ func (e *Evaluator) shard(key string) *cacheShard {
 	return &e.shards[maphash.String(cacheSeed, key)%cacheShards]
 }
 
-// cached looks key up in its shard.
-func (e *Evaluator) cached(key string) (*engine.ChunkedSelection, bool) {
+// cached looks key up in its shard. The caller must check the
+// entry's stamp against the table's before serving it.
+func (e *Evaluator) cached(key string) (cachedSel, bool) {
 	s := e.shard(key)
 	s.mu.RLock()
-	sel, ok := s.m[key]
+	ent, ok := s.m[key]
 	s.mu.RUnlock()
-	return sel, ok
+	return ent, ok
 }
 
 // store records key → sel. Concurrent evaluators may compute the
@@ -215,7 +257,7 @@ func (e *Evaluator) cached(key string) (*engine.ChunkedSelection, bool) {
 // is already present never evicts: the store does not grow the
 // shard, so there is nothing to make room for (evicting anyway
 // would shrink the cache by one on every re-store at the limit).
-func (e *Evaluator) store(key string, sel *engine.ChunkedSelection) {
+func (e *Evaluator) store(key string, sel *engine.ChunkedSelection, stamp *engine.EpochStamp) {
 	perShard := 0
 	if limit := e.limit.Load(); limit > 0 {
 		perShard = int((limit + cacheShards - 1) / cacheShards)
@@ -231,22 +273,24 @@ func (e *Evaluator) store(key string, sel *engine.ChunkedSelection) {
 			}
 		}
 	}
-	s.m[key] = sel
+	s.m[key] = cachedSel{cs: sel, stamp: stamp}
 	s.mu.Unlock()
 }
 
-// cachedBitmap looks key up in the packed-selection cache.
-func (e *Evaluator) cachedBitmap(key string) (*engine.Bitmap, bool) {
+// cachedPacked looks key up in the packed-selection cache. The
+// caller must check the entry's stamp against the table's before
+// serving it.
+func (e *Evaluator) cachedPacked(key string) (cachedBitmap, bool) {
 	s := &e.bmShards[maphash.String(cacheSeed, key)%cacheShards]
 	s.mu.RLock()
-	bm, ok := s.m[key]
+	ent, ok := s.m[key]
 	s.mu.RUnlock()
-	return bm, ok
+	return ent, ok
 }
 
 // storeBitmap records key → bm in the packed-selection cache, with
 // the same bounded random-replacement policy as the selection store.
-func (e *Evaluator) storeBitmap(key string, bm *engine.Bitmap) {
+func (e *Evaluator) storeBitmap(key string, bm *engine.Bitmap, stamp *engine.EpochStamp) {
 	perShard := 0
 	if limit := e.limit.Load(); limit > 0 {
 		perShard = int((limit + cacheShards - 1) / cacheShards)
@@ -262,7 +306,7 @@ func (e *Evaluator) storeBitmap(key string, bm *engine.Bitmap) {
 			}
 		}
 	}
-	s.m[key] = bm
+	s.m[key] = cachedBitmap{bm: bm, stamp: stamp}
 	s.mu.Unlock()
 }
 
@@ -281,11 +325,25 @@ func (e *Evaluator) packedSelection(q sdl.Query, cs *engine.ChunkedSelection) *e
 		return engine.NewBitmapChunked(cs)
 	}
 	key := q.Key()
-	if bm, ok := e.cachedBitmap(key); ok {
-		return bm
+	cur := e.tab.Stamp()
+	if ent, ok := e.cachedPacked(key); ok {
+		if ent.stamp.Version() == cur.Version() {
+			return ent.bm
+		}
+		// Stale after mutation: cs is the query's current selection,
+		// so only the dirty chunks need re-packing — splice their
+		// fresh words into the cached clean ones.
+		if dirty, ok := cur.DirtyVs(ent.stamp); ok &&
+			ent.bm.NumRows() == ent.stamp.NumRows() && ent.bm.ChunkRows() == cur.ChunkRows() &&
+			cs.NumRows() == cur.NumRows() && cs.ChunkRows() == cur.ChunkRows() {
+			bm := engine.SpliceBitmap(ent.bm, engine.NewBitmapChunked(engine.RestrictChunked(cs, dirty)), dirty)
+			e.deltaRefreshes.Add(1)
+			e.storeBitmap(key, bm, cur)
+			return bm
+		}
 	}
 	bm := engine.NewBitmapChunked(cs)
-	e.storeBitmap(key, bm)
+	e.storeBitmap(key, bm, cur)
 	return bm
 }
 
@@ -301,16 +359,33 @@ func (e *Evaluator) packedSelection(q sdl.Query, cs *engine.ChunkedSelection) *e
 func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 	key := q.Key()
 	caching := e.caching.Load()
+	cur := e.tab.Stamp()
 	if caching {
-		if bm, ok := e.cachedBitmap(key); ok {
-			e.cacheHits.Add(1)
-			return bm, nil
+		if ent, ok := e.cachedPacked(key); ok {
+			if ent.stamp.Version() == cur.Version() {
+				e.cacheHits.Add(1)
+				return ent.bm, nil
+			}
+			if bm, ok := e.refreshBitmap(q, ent, cur); ok {
+				e.deltaRefreshes.Add(1)
+				e.storeBitmap(key, bm, cur)
+				return bm, nil
+			}
 		}
-		if cs, ok := e.cached(key); ok {
-			e.cacheHits.Add(1)
-			bm := engine.NewBitmapChunked(cs)
-			e.storeBitmap(key, bm)
-			return bm, nil
+		if ent, ok := e.cached(key); ok {
+			if ent.stamp.Version() == cur.Version() {
+				e.cacheHits.Add(1)
+				bm := engine.NewBitmapChunked(ent.cs)
+				e.storeBitmap(key, bm, ent.stamp)
+				return bm, nil
+			}
+			if cs, ok := e.refreshChunked(q, ent, cur); ok {
+				e.deltaRefreshes.Add(1)
+				e.store(key, cs, cur)
+				bm := engine.NewBitmapChunked(cs)
+				e.storeBitmap(key, bm, cur)
+				return bm, nil
+			}
 		}
 	}
 	cs := e.allRows()
@@ -326,7 +401,7 @@ func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 		bm := engine.NewBitmapChunked(cs)
 		e.fullEvals.Add(1)
 		if caching {
-			e.storeBitmap(key, bm)
+			e.storeBitmap(key, bm, cur)
 		}
 		return bm, nil
 	}
@@ -346,9 +421,93 @@ func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 	}
 	e.fullEvals.Add(1)
 	if caching {
-		e.storeBitmap(key, bm)
+		e.storeBitmap(key, bm, cur)
 	}
 	return bm, nil
+}
+
+// deltaDirty decides whether a stale cache entry qualifies for a
+// chunk-granular refresh against stamp cur: the stamps must be
+// chunk-comparable and the cached result must structurally match the
+// stamp it claims to be from and the current layout. Anything else —
+// a re-shard, a shrink, a foreign layout — returns nil and the
+// caller re-evaluates in full.
+func (e *Evaluator) deltaDirty(old *engine.EpochStamp, nRows, chunkRows int, cur *engine.EpochStamp) []bool {
+	if old == nil || nRows != old.NumRows() || chunkRows != cur.ChunkRows() {
+		return nil
+	}
+	dirty, ok := cur.DirtyVs(old)
+	if !ok {
+		return nil
+	}
+	return dirty
+}
+
+// refreshChunked brings a stale cached selection up to stamp cur by
+// running q's constraint chain over only the dirty chunks — the
+// partial identity's empty clean segments are skipped by every
+// filter kernel, so the work is proportional to the mutated rows —
+// and splicing the result into the cached clean segments. This is
+// sound because SDL constraints are per-row predicates: R(Q)
+// restricted to a chunk depends on that chunk's rows alone, so a
+// clean chunk's cached segment is still exact.
+func (e *Evaluator) refreshChunked(q sdl.Query, old cachedSel, cur *engine.EpochStamp) (*engine.ChunkedSelection, bool) {
+	dirty := e.deltaDirty(old.stamp, old.cs.NumRows(), old.cs.ChunkRows(), cur)
+	if dirty == nil {
+		return nil, false
+	}
+	cs := engine.PartialIdentity(cur.NumRows(), cur.ChunkRows(), dirty)
+	for _, c := range q.Constraints() {
+		if c.IsAny() {
+			continue
+		}
+		var err error
+		cs, err = e.applyConstraint(cs, c)
+		if err != nil {
+			return nil, false
+		}
+	}
+	return engine.SpliceChunked(old.cs, cs, dirty), true
+}
+
+// refreshBitmap is refreshChunked for the packed cache: the dirty
+// chunks re-evaluate with the final predicate fused into bitmap
+// construction, then splice word-slices with the cached clean
+// chunks.
+func (e *Evaluator) refreshBitmap(q sdl.Query, old cachedBitmap, cur *engine.EpochStamp) (*engine.Bitmap, bool) {
+	dirty := e.deltaDirty(old.stamp, old.bm.NumRows(), old.bm.ChunkRows(), cur)
+	if dirty == nil {
+		return nil, false
+	}
+	cs := engine.PartialIdentity(cur.NumRows(), cur.ChunkRows(), dirty)
+	cons := q.Constraints()
+	last := -1
+	for i, c := range cons {
+		if !c.IsAny() {
+			last = i
+		}
+	}
+	var fresh *engine.Bitmap
+	if last < 0 {
+		fresh = engine.NewBitmapChunked(cs)
+	} else {
+		for _, c := range cons[:last] {
+			if c.IsAny() {
+				continue
+			}
+			var err error
+			cs, err = e.applyConstraint(cs, c)
+			if err != nil {
+				return nil, false
+			}
+		}
+		var err error
+		fresh, err = e.applyConstraintBitmap(cs, cons[last])
+		if err != nil {
+			return nil, false
+		}
+	}
+	return engine.SpliceBitmap(old.bm, fresh, dirty), true
 }
 
 // Select returns the sorted row selection R(Q) as a flat vector —
@@ -370,10 +529,18 @@ func (e *Evaluator) SelectChunked(q sdl.Query) (*engine.ChunkedSelection, error)
 	// One snapshot per evaluation: a concurrent SetCaching flip
 	// cannot make lookup and store disagree within one call.
 	caching := e.caching.Load()
+	cur := e.tab.Stamp()
 	if caching {
-		if cs, ok := e.cached(key); ok {
-			e.cacheHits.Add(1)
-			return cs, nil
+		if ent, ok := e.cached(key); ok {
+			if ent.stamp.Version() == cur.Version() {
+				e.cacheHits.Add(1)
+				return ent.cs, nil
+			}
+			if cs, ok := e.refreshChunked(q, ent, cur); ok {
+				e.deltaRefreshes.Add(1)
+				e.store(key, cs, cur)
+				return cs, nil
+			}
 		}
 	}
 	cs := e.allRows()
@@ -389,7 +556,7 @@ func (e *Evaluator) SelectChunked(q sdl.Query) (*engine.ChunkedSelection, error)
 	}
 	e.fullEvals.Add(1)
 	if caching {
-		e.store(key, cs)
+		e.store(key, cs, cur)
 	}
 	return cs, nil
 }
@@ -424,10 +591,28 @@ func (e *Evaluator) Narrow(parentSel engine.Selection, child sdl.Query, c sdl.Co
 func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Query, c sdl.Constraint) (*engine.ChunkedSelection, error) {
 	key := child.Key()
 	caching := e.caching.Load()
+	cur := e.tab.Stamp()
 	if caching {
-		if cs, ok := e.cached(key); ok {
-			e.cacheHits.Add(1)
-			return cs, nil
+		if ent, ok := e.cached(key); ok {
+			if ent.stamp.Version() == cur.Version() {
+				e.cacheHits.Add(1)
+				return ent.cs, nil
+			}
+			// Stale after mutation: parentCS is the child's current
+			// parent selection, so re-filtering just its dirty-chunk
+			// segments and splicing reproduces the child exactly —
+			// cheaper than refreshChunked's full constraint chain.
+			if dirty := e.deltaDirty(ent.stamp, ent.cs.NumRows(), ent.cs.ChunkRows(), cur); dirty != nil &&
+				parentCS.NumRows() == cur.NumRows() && parentCS.ChunkRows() == cur.ChunkRows() {
+				fresh, err := e.applyConstraint(engine.RestrictChunked(parentCS, dirty), c)
+				if err != nil {
+					return nil, err
+				}
+				cs := engine.SpliceChunked(ent.cs, fresh, dirty)
+				e.deltaRefreshes.Add(1)
+				e.store(key, cs, cur)
+				return cs, nil
+			}
 		}
 	}
 	cs, err := e.applyConstraint(parentCS, c)
@@ -436,7 +621,7 @@ func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Q
 	}
 	e.narrowEvals.Add(1)
 	if caching {
-		e.store(key, cs)
+		e.store(key, cs, cur)
 	}
 	return cs, nil
 }

@@ -213,14 +213,14 @@ func TestStoreAtLimitKeepsExistingKey(t *testing.T) {
 			keyB = k
 		}
 	}
-	ev.store(keyA, sel)
-	ev.store(keyB, sel)
+	ev.store(keyA, sel, tab.Stamp())
+	ev.store(keyB, sel, tab.Stamp())
 	if len(shard.m) != 2 {
 		t.Fatalf("shard holds %d entries after filling, want 2", len(shard.m))
 	}
 	// Re-store an existing key ten times: the shard must keep both.
 	for i := 0; i < 10; i++ {
-		ev.store(keyA, sel)
+		ev.store(keyA, sel, tab.Stamp())
 	}
 	if _, ok := ev.cached(keyB); !ok {
 		t.Fatal("re-storing an existing key evicted an unrelated entry")
@@ -236,7 +236,7 @@ func TestStoreAtLimitKeepsExistingKey(t *testing.T) {
 			keyC = k
 		}
 	}
-	ev.store(keyC, sel)
+	ev.store(keyC, sel, tab.Stamp())
 	if len(shard.m) != 2 {
 		t.Fatalf("shard holds %d entries after eviction, want 2", len(shard.m))
 	}

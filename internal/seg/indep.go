@@ -137,8 +137,13 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 	var memoKey string
 	if opt.Memo != nil {
 		// The representation knob changes which segments get packed,
-		// so sides built under different reps never alias.
-		memoKey = opt.Rep.String() + "\x00" + s.Key()
+		// so sides built under different reps never alias. The table
+		// fingerprint keys out sides built before a mutation: a memo
+		// can outlive one advise (a Stream holds its across Next
+		// calls), and a stale side would silently miscount cells.
+		// The fingerprint is cached per table version, so this stays
+		// a single concatenation on the warm path.
+		memoKey = ev.Table().Fingerprint() + "\x00" + opt.Rep.String() + "\x00" + s.Key()
 		if side, ok := opt.Memo.get(memoKey); ok {
 			return side, nil
 		}

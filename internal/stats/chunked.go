@@ -189,6 +189,22 @@ func EquiDepthPointsChunks(chunks [][]int64, arity, workers int) []int64 {
 		return nil
 	}
 	SortInt64Chunks(chunks, workers)
+	return EquiDepthPointsSorted(chunks, arity)
+}
+
+// EquiDepthPointsSorted is the rank-selection half of
+// EquiDepthPointsChunks: the chunks must already be sorted ascending
+// (for example, cached sorted runs from an earlier computation). The
+// k-th smallest of a multiset does not depend on who sorted it, so
+// the result is identical to EquiDepthPointsChunks on the same data.
+func EquiDepthPointsSorted(chunks [][]int64, arity int) []int64 {
+	n := 0
+	for _, ch := range chunks {
+		n += len(ch)
+	}
+	if arity < 2 || n == 0 {
+		return nil
+	}
 	min := KthSortedInt64Chunks(chunks, 0)
 	points := make([]int64, 0, arity-1)
 	for i := 1; i < arity; i++ {
