@@ -6,9 +6,9 @@ GO ?= go
 
 # Perf-trajectory artifact name; tracks the PR sequence so successive
 # baselines never overwrite each other in the artifact history.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 
-.PHONY: all build test test-race bench bench-smoke bench-json bench-scale bench-delta fmt fmt-check vet lint fuzz-smoke docs-check ci
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale bench-delta fmt fmt-check vet lint fuzz-smoke metrics-smoke docs-check ci
 
 all: build
 
@@ -91,10 +91,16 @@ fuzz-smoke:
 	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzReadPage -fuzztime=20s -fuzzminimizetime=30x
 	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzOpenColumnFile -fuzztime=20s -fuzzminimizetime=30x
 
+# Observability gate: boot a real charles-server, run one advise, and
+# require /healthz + /metrics to answer 200 with every layer's metric
+# families present (scripts/metrics_smoke.sh).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
 # Documentation gate: relative markdown links in README + docs/ must
 # resolve, and every §N the colfile code cites must be a heading in
 # docs/FORMAT.md (the spec's numbering is load-bearing).
 docs-check:
 	$(GO) test -run='TestDocs' .
 
-ci: fmt-check vet lint build test-race fuzz-smoke docs-check bench-json bench-delta
+ci: fmt-check vet lint build test-race fuzz-smoke metrics-smoke docs-check bench-json bench-delta

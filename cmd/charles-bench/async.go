@@ -9,14 +9,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"net/url"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"charles/internal/obs"
 )
 
 // asyncOptions parameterizes one load run.
@@ -37,26 +37,47 @@ type asyncOptions struct {
 
 // asyncJob mirrors the server's job JSON.
 type asyncJob struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached"`
-	Error  string `json:"error"`
+	ID     string             `json:"id"`
+	State  string             `json:"state"`
+	Cached bool               `json:"cached"`
+	Error  string             `json:"error"`
+	Trace  []obs.StageSummary `json:"trace"`
 }
 
-// asyncStats aggregates one run.
+// asyncStats aggregates one run. End-to-end latencies land in an
+// obs.Histogram — the same fixed-bucket structure the server exports
+// at /metrics — so the p50/p90/p99 here and a Prometheus view of the
+// server agree on methodology.
 type asyncStats struct {
 	completed atomic.Int64
 	cached    atomic.Int64
 	rejected  atomic.Int64
 	failed    atomic.Int64
 
-	mu        sync.Mutex
-	latencies []time.Duration
+	hist *obs.Histogram
+
+	// One advise's per-stage trace, sampled from the first job that
+	// reports one: where did the time go inside the queue?
+	mu    sync.Mutex
+	trace []obs.StageSummary
+}
+
+func newAsyncStats() *asyncStats {
+	return &asyncStats{hist: obs.NewHistogram(obs.DefaultLatencyBuckets())}
 }
 
 func (s *asyncStats) record(d time.Duration) {
+	s.hist.Observe(d.Seconds())
+}
+
+func (s *asyncStats) sampleTrace(tr []obs.StageSummary) {
+	if len(tr) == 0 {
+		return
+	}
 	s.mu.Lock()
-	s.latencies = append(s.latencies, d)
+	if s.trace == nil {
+		s.trace = tr
+	}
 	s.mu.Unlock()
 }
 
@@ -82,7 +103,7 @@ func runAsync(w io.Writer, opt asyncOptions) error {
 		return fmt.Errorf("async: server not reachable: %w", err)
 	}
 
-	var st asyncStats
+	st := newAsyncStats()
 	var next atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -161,6 +182,7 @@ func (st *asyncStats) submitAndWait(client *http.Client, base, sdl string, poll 
 	if job.State != "done" {
 		return fmt.Errorf("async: job %s ended %s: %s", job.ID, job.State, job.Error)
 	}
+	st.sampleTrace(job.Trace)
 	st.completed.Add(1)
 	st.record(time.Since(t0))
 	return nil
@@ -201,18 +223,16 @@ func fetchHealthz(client *http.Client, base string) (healthz, error) {
 	return h, nil
 }
 
-// report prints the E18-style async throughput table.
+// report prints the E18-style async throughput table. Quantiles come
+// from the histogram (linear interpolation inside the owning bucket),
+// not a sorted sample list — bounded memory no matter how many jobs.
 func (st *asyncStats) report(w io.Writer, opt asyncOptions, wall time.Duration, h healthz) error {
-	lat := st.latencies
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	mean, p95 := time.Duration(0), time.Duration(0)
-	if n := len(lat); n > 0 {
-		var sum time.Duration
-		for _, d := range lat {
-			sum += d
-		}
-		mean = sum / time.Duration(n)
-		p95 = lat[int(math.Ceil(0.95*float64(n)))-1]
+	var mean, p50, p90, p99 time.Duration
+	if n := st.hist.Count(); n > 0 {
+		mean = secondsDur(st.hist.Sum() / float64(n))
+		p50 = secondsDur(st.hist.Quantile(0.5))
+		p90 = secondsDur(st.hist.Quantile(0.9))
+		p99 = secondsDur(st.hist.Quantile(0.99))
 	}
 	fmt.Fprintf(w, "## Async advise API load (%d jobs, %d clients, %d distinct contexts)\n\n",
 		opt.Jobs, opt.Concurrency, len(opt.Contexts))
@@ -220,15 +240,38 @@ func (st *asyncStats) report(w io.Writer, opt asyncOptions, wall time.Duration, 
 	fmt.Fprintf(w, "| wall time | %v |\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "| completed | %d |\n", st.completed.Load())
 	fmt.Fprintf(w, "| throughput | %.1f jobs/s |\n", float64(st.completed.Load())/wall.Seconds())
-	fmt.Fprintf(w, "| latency mean / p95 | %v / %v |\n", mean.Round(time.Millisecond), p95.Round(time.Millisecond))
+	fmt.Fprintf(w, "| latency mean / p50 / p90 / p99 | %v / %v / %v / %v |\n",
+		mean.Round(time.Millisecond), p50.Round(time.Millisecond),
+		p90.Round(time.Millisecond), p99.Round(time.Millisecond))
 	fmt.Fprintf(w, "| served from result cache | %d |\n", st.cached.Load())
 	fmt.Fprintf(w, "| queue-full rejections (retried) | %d |\n", st.rejected.Load())
 	fmt.Fprintf(w, "| failed | %d |\n", st.failed.Load())
 	fmt.Fprintf(w, "| server advises run (total) | %d |\n", h.Advises)
 	fmt.Fprintf(w, "| server jobs submitted / coalesced | %d / %d |\n", h.JobsSubmitted, h.JobsCoalesced)
 	fmt.Fprintf(w, "| server cache hits / misses | %d / %d |\n", h.ResultCache.Hits, h.ResultCache.Misses)
+	st.mu.Lock()
+	trace := st.trace
+	st.mu.Unlock()
+	if len(trace) > 0 {
+		fmt.Fprintf(w, "\n### One advise, stage by stage (sampled)\n\n")
+		fmt.Fprintf(w, "| stage | count | total |\n|---|---|---|\n")
+		writeStages(w, trace, "")
+	}
 	if st.failed.Load() > 0 {
 		return fmt.Errorf("async: %d jobs failed", st.failed.Load())
 	}
 	return nil
+}
+
+// writeStages renders a trace summary tree as indented table rows.
+func writeStages(w io.Writer, stages []obs.StageSummary, indent string) {
+	for _, st := range stages {
+		fmt.Fprintf(w, "| %s%s | %d | %v |\n", indent, st.Name, st.Count,
+			time.Duration(st.DurationNS).Round(time.Microsecond))
+		writeStages(w, st.Children, indent+"&nbsp;&nbsp;")
+	}
+}
+
+func secondsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }

@@ -13,7 +13,7 @@ import (
 // would silently stop being enforced. The expected set doubles as
 // the documented contract — extend it when a new invariant lands.
 func TestRegistersAllAnalyzers(t *testing.T) {
-	wanted := []string{"ctxflow", "nopanic", "pooledescape", "mapdeterminism", "mmaplife", "epochkey"}
+	wanted := []string{"ctxflow", "nopanic", "pooledescape", "mapdeterminism", "mmaplife", "epochkey", "obsnames"}
 	got := map[string]bool{}
 	for _, a := range lint.All() {
 		got[a.Name] = true

@@ -33,6 +33,7 @@ import (
 	"charles"
 	"charles/internal/engine"
 	"charles/internal/jobs"
+	"charles/internal/obs"
 )
 
 // jsonSegment is one segment of a rendered segmentation: the SDL
@@ -77,6 +78,10 @@ type jsonJob struct {
 	Started  string            `json:"started,omitempty"`
 	Finished string            `json:"finished,omitempty"`
 	Result   *jsonResult       `json:"result,omitempty"`
+	// Trace is the per-advise stage breakdown (queue wait, run, and
+	// the core stages inside it). Included on single-job views; the
+	// advise endpoint adds it only when the request asks ("trace").
+	Trace []obs.StageSummary `json:"trace,omitempty"`
 }
 
 // renderResult converts a ranked result for JSON transport. The
@@ -135,6 +140,9 @@ func (sv *server) renderJob(snap jobs.Snapshot, includeResult bool) jsonJob {
 	if includeResult && snap.State == jobs.StateDone && snap.Result != nil {
 		jj.Result = sv.renderResult(snap.Result)
 	}
+	if includeResult {
+		jj.Trace = snap.Trace
+	}
 	return jj
 }
 
@@ -158,20 +166,26 @@ func jsonError(w http.ResponseWriter, status int, msg string) {
 }
 
 // adviseContext extracts the SDL context from a POST /advise
-// request: a JSON body {"context": "…"} or the context form/query
-// parameter.
-func adviseContext(r *http.Request) (string, error) {
+// request — a JSON body {"context": "…"} or the context form/query
+// parameter — plus whether the caller opted into the stage trace
+// ("trace": true in the body, or a truthy trace parameter).
+func adviseContext(r *http.Request) (ctx string, wantTrace bool, err error) {
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
 		var body struct {
 			Context string `json:"context"`
+			Trace   bool   `json:"trace"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			return "", errors.New("bad JSON body: " + err.Error())
+			return "", false, errors.New("bad JSON body: " + err.Error())
 		}
-		return body.Context, nil
+		return body.Context, body.Trace || truthy(r.URL.Query().Get("trace")), nil
 	}
-	return r.FormValue("context"), nil
+	return r.FormValue("context"), truthy(r.FormValue("trace")), nil
+}
+
+func truthy(s string) bool {
+	return s != "" && s != "0" && !strings.EqualFold(s, "false")
 }
 
 // handleAdvise submits an advise job. A result-cache hit answers
@@ -186,7 +200,7 @@ func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	qs, err := adviseContext(r)
+	qs, wantTrace, err := adviseContext(r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
@@ -235,7 +249,13 @@ func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if snap.State == jobs.StateDone {
 		status = http.StatusOK // TTL'd hot hit: the job already ran
 	}
-	writeJSON(w, status, sv.renderJob(snap, true))
+	jj := sv.renderJob(snap, true)
+	if !wantTrace {
+		// The trace is opt-in here so default advise responses stay
+		// exactly what pre-trace clients parsed.
+		jj.Trace = nil
+	}
+	writeJSON(w, status, jj)
 }
 
 // handleJob serves one job: GET polls it, DELETE cancels it.
@@ -330,7 +350,7 @@ func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		JobsSubmitted: st.Submitted,
 		JobsCoalesced: st.Coalesced,
 		Sessions:      sessions,
-		Advises:       sv.advises.Load(),
+		Advises:       sv.metrics.advises.Value(),
 		ResultCache: resultCacheStats{
 			Enabled: sv.results != nil,
 			Size:    size,

@@ -19,6 +19,7 @@ import (
 
 	"charles"
 	"charles/internal/jobs"
+	"charles/internal/obs"
 )
 
 // doForm drives a request with a form body through the mux.
@@ -231,7 +232,7 @@ func TestAsyncMatchesSyncMatrix(t *testing.T) {
 					t.Fatalf("job ended %s (%s)", done.State, done.Error)
 				}
 				// Exactly one advise ran for M submissions.
-				if got := sv.advises.Load(); got != 1 {
+				if got := sv.metrics.advises.Value(); got != 1 {
 					t.Fatalf("%d identical concurrent submissions ran %d advises, want 1", M, got)
 				}
 				// Byte-identical ranked output, at the result level…
@@ -415,7 +416,7 @@ func TestSyncAdviseSingleFlight(t *testing.T) {
 	}
 	close(start)
 	wg.Wait()
-	if got := sv.advises.Load(); got != 1 {
+	if got := sv.metrics.advises.Value(); got != 1 {
 		t.Fatalf("%d concurrent cold misses ran %d advises, want 1", N, got)
 	}
 }
@@ -465,7 +466,7 @@ func TestSyncAdviseJoinsRunningAsyncJob(t *testing.T) {
 	if res := <-resCh; res != want {
 		t.Fatal("sync advise did not share the async job's result")
 	}
-	if got := sv.advises.Load(); got != 0 {
+	if got := sv.metrics.advises.Value(); got != 0 {
 		t.Fatalf("sync advise ran its own advise (%d) instead of joining the job", got)
 	}
 }
@@ -505,7 +506,7 @@ func TestFailedAdviseNeverCached(t *testing.T) {
 			t.Fatalf("after failed advise %d: misses=%d", i, misses)
 		}
 	}
-	if got := sv.advises.Load(); got != 2 {
+	if got := sv.metrics.advises.Value(); got != 2 {
 		t.Fatalf("advises = %d, want 2 (failures must not be served from cache)", got)
 	}
 	// Async path: the job fails, the cache stays empty, and the
@@ -563,7 +564,7 @@ func TestConfigFingerprintKnobs(t *testing.T) {
 // refreshed entry survives a full wave of inserts that evict
 // everything older, in exact recency order.
 func TestResultCacheEvictionOrder(t *testing.T) {
-	rc := newResultCache(3)
+	rc := newResultCache(3, &obs.Counter{}, &obs.Counter{})
 	r := &charles.Result{}
 	rc.put("a", r)
 	rc.put("b", r)

@@ -32,13 +32,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"charles"
 	"charles/internal/engine"
 	"charles/internal/jobs"
+	"charles/internal/obs"
 	"charles/internal/ui"
 )
 
@@ -71,12 +71,14 @@ const resultCacheCap = 256
 // result, and caching its absence would be indistinguishable from a
 // legitimate empty result on the read path.
 type resultCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	m      map[string]*list.Element
-	hits   int
-	misses int
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	// hits/misses live on the obs registry — the single source of
+	// truth /healthz and /metrics both read.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 type resultEntry struct {
@@ -84,8 +86,8 @@ type resultEntry struct {
 	res *charles.Result
 }
 
-func newResultCache(cap int) *resultCache {
-	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element)}
+func newResultCache(cap int, hits, misses *obs.Counter) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element), hits: hits, misses: misses}
 }
 
 // get returns the cached result for key, refreshing its recency.
@@ -94,11 +96,11 @@ func (rc *resultCache) get(key string) (*charles.Result, bool) {
 	defer rc.mu.Unlock()
 	el, ok := rc.m[key]
 	if !ok {
-		rc.misses++
+		rc.misses.Inc()
 		return nil, false
 	}
 	rc.ll.MoveToFront(el)
-	rc.hits++
+	rc.hits.Inc()
 	return el.Value.(*resultEntry).res, true
 }
 
@@ -139,14 +141,15 @@ func (rc *resultCache) peek(key string) (*charles.Result, bool) {
 	return el.Value.(*resultEntry).res, true
 }
 
-// stats returns size and hit/miss counters for /healthz.
+// stats returns size and hit/miss counters for /healthz, reading
+// the same obs counters /metrics exposes.
 func (rc *resultCache) stats() (size, hits, misses int) {
 	if rc == nil {
 		return 0, 0, 0
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return rc.ll.Len(), rc.hits, rc.misses
+	return rc.ll.Len(), int(rc.hits.Value()), int(rc.misses.Value())
 }
 
 // configFingerprint canonicalizes the knobs that shape advise
@@ -191,10 +194,10 @@ type server struct {
 	// share its result — the same coalescing the job queue applies
 	// to submissions, via the same jobs-layer helper.
 	flight jobs.Group
-	// advises counts advise executions that actually ran HB-cuts —
-	// the denominator the cache and single-flight savings are
-	// measured against.
-	advises atomic.Int64
+	// metrics owns the obs registry behind GET /metrics, plus the
+	// families the server updates directly (HTTP plane, advise and
+	// result-cache counters — the latter shared with /healthz).
+	metrics *serverMetrics
 
 	// tabMu enforces the engine's mutation contract at the service
 	// boundary: AppendRows must not run concurrently with advises
@@ -209,20 +212,27 @@ type server struct {
 
 func newServer(adv *charles.Advisor, initialCtx charles.Query, jopt jobs.Options) *server {
 	adv.Evaluator().SetCacheLimit(evaluatorCacheLimit)
+	// Wire instrumentation before anything runs: the registry must
+	// exist for the job manager's histograms and the result cache's
+	// counters, and the engine/evaluator hooks are installed inside.
+	metrics := newServerMetrics(adv.Evaluator())
+	jopt.Metrics = metrics.jobMetrics
 	sv := &server{
 		adv:        adv,
 		initialCtx: initialCtx,
 		cfgFP:      configFingerprint(adv.Config()),
 		jobs:       jobs.NewManager(jopt),
 		sessions:   make(map[string]*session),
+		metrics:    metrics,
 	}
 	// A custom ScoreFunc reorders results but cannot be
 	// fingerprinted (it is an arbitrary function), so caching under
 	// it could serve rankings computed for a different score. The
 	// command line cannot set one today; this guards embedders.
 	if adv.Config().Score == nil {
-		sv.results = newResultCache(resultCacheCap)
+		sv.results = newResultCache(resultCacheCap, metrics.resultHits, metrics.resultMisses)
 	}
+	sv.registerServerGauges()
 	return sv
 }
 
@@ -240,7 +250,7 @@ func (sv *server) cacheKey(ctx charles.Query) string {
 // lock spans the whole advise — sync or async — so POST /append
 // cannot mutate mid-computation.
 func (sv *server) runAdvise(ctx context.Context, q charles.Query, progress charles.ProgressFunc) (*charles.Result, error) {
-	sv.advises.Add(1)
+	sv.metrics.advises.Inc()
 	sv.tabMu.RLock()
 	defer sv.tabMu.RUnlock()
 	return sv.adv.AdviseCtx(ctx, q, progress)
@@ -317,6 +327,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "async advise jobs the queue holds before rejecting (503)")
 		jobWorkers = flag.Int("job-workers", 2, "advises executing concurrently (independent of -workers, the per-advise fan-out)")
 		jobTTL     = flag.Duration("job-ttl", 5*time.Minute, "how long finished jobs stay pollable")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -375,9 +386,12 @@ func main() {
 	}
 	log.Printf("charles-server: advising on %q (%d rows) at http://%s/ (async API at POST /advise)",
 		tab.Name(), tab.NumRows(), display)
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.mux(),
+		Handler:           srv.withAccessLogs(srv.mux()),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
@@ -419,6 +433,7 @@ func (sv *server) mux() *http.ServeMux {
 	mux.HandleFunc("/jobs", sv.handleJobs)
 	mux.HandleFunc("/jobs/", sv.handleJob)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
+	mux.HandleFunc("/metrics", sv.handleMetrics)
 	return mux
 }
 

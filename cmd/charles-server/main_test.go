@@ -14,6 +14,7 @@ import (
 
 	"charles"
 	"charles/internal/jobs"
+	"charles/internal/obs"
 )
 
 func testServer(t *testing.T) *server {
@@ -298,13 +299,13 @@ func TestResultCacheSharedAcrossSessions(t *testing.T) {
 	if _, body := a.get("/"); !strings.Contains(body, "Proposed segmentations") {
 		t.Fatal("first session did not render advice")
 	}
-	if sv.results.hits != 0 {
+	if sv.results.hits.Value() != 0 {
 		t.Fatalf("first advise hit the cache (%d hits)", sv.results.hits)
 	}
 	if _, body := b.get("/"); !strings.Contains(body, "Proposed segmentations") {
 		t.Fatal("second session did not render advice")
 	}
-	if sv.results.hits != 1 {
+	if sv.results.hits.Value() != 1 {
 		t.Fatalf("second session's advise missed the cache (%d hits)", sv.results.hits)
 	}
 	if a.session.Value == b.session.Value {
@@ -316,10 +317,10 @@ func TestResultCacheSharedAcrossSessions(t *testing.T) {
 		t.Fatal("sessions do not share the cached result")
 	}
 	// A different context misses, then repeats hit.
-	if _, _ = a.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits != 1 {
+	if _, _ = a.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits.Value() != 1 {
 		t.Fatalf("distinct context should miss (%d hits)", sv.results.hits)
 	}
-	if _, _ = b.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits != 2 {
+	if _, _ = b.get("/?context=" + url.QueryEscape("(tonnage:)")); sv.results.hits.Value() != 2 {
 		t.Fatalf("repeated distinct context should hit (%d hits)", sv.results.hits)
 	}
 }
@@ -327,7 +328,7 @@ func TestResultCacheSharedAcrossSessions(t *testing.T) {
 // TestResultCacheLRUBounded pins the eviction policy: the cache
 // never exceeds its cap and drops the least recently used entry.
 func TestResultCacheLRUBounded(t *testing.T) {
-	rc := newResultCache(2)
+	rc := newResultCache(2, &obs.Counter{}, &obs.Counter{})
 	r := &charles.Result{}
 	rc.put("a", r)
 	rc.put("b", r)

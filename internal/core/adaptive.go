@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"charles/internal/obs"
 	"charles/internal/par"
 	"charles/internal/sdl"
 	"charles/internal/seg"
@@ -65,6 +66,10 @@ func AdaptiveCutsCtx(ctx context.Context, ev *seg.Evaluator, q sdl.Query, cfg Co
 		// Trial-cut the target on every attribute across the worker
 		// pool; the pick below scans the trials in attribute order,
 		// so the greedy choice matches the sequential one exactly.
+		// The span accumulates across loop iterations into one
+		// "trials" stage; purely observational, like the HB-cuts
+		// stages.
+		spTrials := obs.TraceFrom(ctx).Start("trials")
 		trials := make([]splitTrial, len(attrs))
 		err := par.ForEachCtx(ctx, cfg.Workers, len(attrs), func(k int) error {
 			defer prog.report(PhaseTrials, 0)
@@ -86,6 +91,7 @@ func AdaptiveCutsCtx(ctx context.Context, ev *seg.Evaluator, q sdl.Query, cfg Co
 			trials[k] = splitTrial{children: children, counts: counts}
 			return nil
 		})
+		spTrials.End()
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"charles/internal/obs"
 	"charles/internal/par"
 	"charles/internal/sdl"
 	"charles/internal/seg"
@@ -177,6 +178,12 @@ func newHBStateCtx(ctx context.Context, ev *seg.Evaluator, context sdl.Query, cf
 	// out across the worker pool; merging in attribute order keeps
 	// candidate ids — and therefore the whole run — deterministic.
 	attrs := context.Attrs()
+	// The stage trace (obs.TraceFrom; nil and therefore free unless
+	// the caller planted one) times the phases only — it observes the
+	// run, never steers it, so traced and untraced output is
+	// byte-identical.
+	spCuts := obs.TraceFrom(ctx).Start("initial_cuts")
+	defer spCuts.End()
 	// Prime the context selection before fanning out: every initial
 	// cut starts from it, and on a cold cache W workers would all
 	// miss the same key at once and each pay the full-table scan.
@@ -226,7 +233,10 @@ func (st *hbState) step() (*seg.Segmentation, bool, error) {
 		st.res.StopReason = StopExhausted
 		return nil, false, nil
 	}
+	tr := obs.TraceFrom(st.ctx)
+	spPairs := tr.Start("indep_pairs")
 	i, j, ind, err := st.pickPair()
+	spPairs.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -236,7 +246,9 @@ func (st *hbState) step() (*seg.Segmentation, bool, error) {
 	// same cell counts INDEP used, so it is also checked here).
 	stop := false
 	if st.cfg.UseChiSquare {
+		spChi := tr.Start("indep_pairs")
 		indep, err := seg.ChiSquareIndependentOpt(st.ev, s1.seg, s2.seg, st.cfg.ChiAlpha, st.pairOpts(st.cfg.Workers))
+		spChi.End()
 		if err != nil {
 			return nil, false, err
 		}
@@ -248,7 +260,9 @@ func (st *hbState) step() (*seg.Segmentation, bool, error) {
 		st.res.StopReason = StopIndependent
 		return nil, false, nil
 	}
+	spCompose := tr.Start("compose")
 	composed, err := seg.Compose(st.ev, s1.seg, s2.seg, st.cfg.Cut)
+	spCompose.End()
 	if err != nil {
 		return nil, false, err
 	}

@@ -18,6 +18,8 @@ package engine
 // A chunk whose scan matches nothing stays nil, preserving the
 // empty-chunks-never-allocated invariant.
 func filterSegsBitmap(cs *ChunkedSelection, verdict func(c int) chunkVerdict, scanBits func(seg Selection, words []uint64, base int32) int) *Bitmap {
+	m := metricsHook.Load()
+	m.FusedKernels.Inc()
 	nc := cs.NumChunks()
 	b := newBitmapShell(cs.NumRows(), cs.ChunkRows(), nc)
 	ones := make([]int, nc)
@@ -27,7 +29,9 @@ func filterSegsBitmap(cs *ChunkedSelection, verdict func(c int) chunkVerdict, sc
 			return
 		}
 		base := int32(c * b.chunkRows)
-		switch verdict(c) {
+		v := verdict(c)
+		m.countVerdict(v)
+		switch v {
 		case chunkSkip:
 		case chunkTake:
 			words := make([]uint64, b.chunkWordCount(c))

@@ -70,13 +70,17 @@ const (
 // through the same typed kernels the flat filters use, and the
 // per-chunk outputs are reassembled in chunk order.
 func filterSegs(cs *ChunkedSelection, verdict func(c int) chunkVerdict, scan func(seg Selection) Selection) *ChunkedSelection {
+	m := metricsHook.Load()
+	m.VectorKernels.Inc()
 	out := make([]Selection, cs.NumChunks())
 	forEachSeg(cs, func(c int) {
 		seg := cs.Seg(c)
 		if len(seg) == 0 {
 			return
 		}
-		switch verdict(c) {
+		v := verdict(c)
+		m.countVerdict(v)
+		switch v {
 		case chunkSkip:
 		case chunkTake:
 			out[c] = seg

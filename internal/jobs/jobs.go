@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"charles/internal/core"
+	"charles/internal/obs"
 )
 
 // State is a job's lifecycle position: Queued → Running → one of
@@ -95,6 +96,20 @@ type Options struct {
 	// pollable; expired jobs vanish lazily on the next Manager call.
 	// Default 5 minutes.
 	TTL time.Duration
+	// Metrics, when set, receives queue-wait and run-duration
+	// observations for every executed job. Nil (the default) records
+	// nothing.
+	Metrics *Metrics
+}
+
+// Metrics is the manager's instrumentation hook. Both fields are
+// nil-safe obs histograms, observed in seconds.
+type Metrics struct {
+	// QueueWait is the time from submission to a worker picking the
+	// job up.
+	QueueWait *obs.Histogram
+	// Run is the time the RunFunc executed (queue wait excluded).
+	Run *obs.Histogram
 }
 
 func (o Options) normalize() Options {
@@ -119,6 +134,12 @@ type Job struct {
 	cctx  context.Context
 	abort context.CancelFunc
 	done  chan struct{}
+
+	// trace accumulates per-stage timings for this job: queue wait,
+	// total run time, and the advise phases the core layer reports
+	// through the context. Created at submission, so even a queued
+	// job snapshots a (still empty) trace.
+	trace *obs.Trace
 
 	mu       sync.Mutex
 	state    State
@@ -152,6 +173,7 @@ func (j *Job) Snapshot() Snapshot {
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
+		Trace:    j.trace.Summary(),
 	}
 }
 
@@ -173,6 +195,10 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Trace is the job's accumulated stage timings: queue_wait and
+	// run at the top, advise phases reported by the core layer
+	// alongside them. Empty until the job starts moving.
+	Trace []obs.StageSummary
 }
 
 // Stats summarizes the manager for health endpoints.
@@ -267,6 +293,7 @@ func (m *Manager) Submit(key string, run RunFunc) (*Job, error) {
 		abort:   abort,
 		done:    make(chan struct{}),
 		created: now,
+		trace:   obs.NewTrace(),
 	}
 	m.fifo = append(m.fifo, j)
 	m.jobs[j.id] = j
@@ -471,13 +498,28 @@ func (m *Manager) execute(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	started, created := j.started, j.created
 	j.mu.Unlock()
+
+	wait := started.Sub(created)
+	j.trace.Observe("queue_wait", wait)
+	if m.opt.Metrics != nil {
+		m.opt.Metrics.QueueWait.Observe(wait.Seconds())
+	}
 
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
 
-	res, err := j.run(j.cctx, j.setProgress)
+	// The job's trace rides the run context so the advise core can
+	// report its stages (obs.TraceFrom) without the jobs layer
+	// knowing what a stage is.
+	spRun := j.trace.Start("run")
+	res, err := j.run(obs.ContextWithTrace(j.cctx, j.trace), j.setProgress)
+	spRun.End()
+	if m.opt.Metrics != nil {
+		m.opt.Metrics.Run.Observe(time.Since(started).Seconds())
+	}
 
 	m.mu.Lock()
 	m.running--

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"charles/internal/core"
+	"charles/internal/obs"
 )
 
 // blockingRun returns a RunFunc that parks until release is closed
@@ -510,5 +511,51 @@ func TestGroupSingleFlight(t *testing.T) {
 	}
 	if runs.Load() != before+1 {
 		t.Fatalf("second flight did not run: runs = %d", runs.Load())
+	}
+}
+
+// TestJobMetricsAndTrace pins the jobs-layer observability: the
+// manager's histograms see every executed job, and each job carries a
+// trace whose queue_wait and run stages land in its snapshot — with
+// the job's context carrying the trace so the advisor core's stages
+// nest into the same tree.
+func TestJobMetricsAndTrace(t *testing.T) {
+	jm := &Metrics{
+		QueueWait: obs.NewHistogram(obs.DefaultLatencyBuckets()),
+		Run:       obs.NewHistogram(obs.DefaultLatencyBuckets()),
+	}
+	m := NewManager(Options{Workers: 1, Metrics: jm})
+	defer shutdown(t, m)
+	run := func(ctx context.Context, progress core.ProgressFunc) (*core.Result, error) {
+		// The core would do exactly this with the request's ctx.
+		sp := obs.TraceFrom(ctx).Start("core_stage")
+		defer sp.End()
+		return &core.Result{}, nil
+	}
+	j, err := m.Submit("k", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	snap := waitState(t, m, j.ID(), StateDone)
+	stages := map[string]int64{}
+	var walk func([]obs.StageSummary)
+	walk = func(sts []obs.StageSummary) {
+		for _, st := range sts {
+			stages[st.Name] = st.Count
+			walk(st.Children)
+		}
+	}
+	walk(snap.Trace)
+	for _, want := range []string{"queue_wait", "run", "core_stage"} {
+		if stages[want] == 0 {
+			t.Errorf("job trace missing stage %q: %+v", want, snap.Trace)
+		}
+	}
+	if got := jm.QueueWait.Count(); got != 1 {
+		t.Errorf("queue-wait histogram saw %d jobs, want 1", got)
+	}
+	if got := jm.Run.Count(); got != 1 {
+		t.Errorf("run histogram saw %d jobs, want 1", got)
 	}
 }

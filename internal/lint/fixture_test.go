@@ -118,6 +118,7 @@ func TestPooledEscapeFixture(t *testing.T)   { runFixture(t, lint.PooledEscape, 
 func TestMapDeterminismFixture(t *testing.T) { runFixture(t, lint.MapDeterminism, "mapdeterminism") }
 func TestMmapLifeFixture(t *testing.T)       { runFixture(t, lint.MmapLife, "mmaplife") }
 func TestEpochKeyFixture(t *testing.T)       { runFixture(t, lint.EpochKey, "epochkey") }
+func TestObsNamesFixture(t *testing.T)       { runFixture(t, lint.ObsNames, "obsnames") }
 
 // TestFixtureForEveryAnalyzer pins the suite non-vacuous as it
 // grows: an analyzer without a fixture directory cannot prove it
@@ -155,6 +156,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.EpochKey, "charles/internal/seg", true},
 		{lint.EpochKey, "charles", true},
 		{lint.EpochKey, "charles/internal/engine", false}, // it defines the stamps and their nil sentinels
+		{lint.ObsNames, "charles/cmd/charles-server", true},
+		{lint.ObsNames, "charles/internal/core", true},
+		{lint.ObsNames, "charles/internal/obs", false}, // it defines the contract its tests deliberately break
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.pkg); got != c.applies {

@@ -11,6 +11,7 @@
 //	mapdeterminism  — ranked output is byte-identical (PR 2)
 //	mmaplife        — mmap views are not retained past Close (PR 6)
 //	epochkey        — cache entries carry their epoch stamp (PR 8)
+//	obsnames        — metric names literal and unique; spans End (PR 9)
 //
 // The framework deliberately mirrors the golang.org/x/tools
 // go/analysis shape (Analyzer, Pass, Reportf, testdata fixtures with
@@ -164,7 +165,7 @@ func sortDiagnostics(diags []Diagnostic) {
 // charles-lint registers exactly this list; the registry test pins
 // it against the set of invariants docs/ARCHITECTURE.md documents.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, NoPanic, PooledEscape, MapDeterminism, MmapLife, EpochKey}
+	return []*Analyzer{CtxFlow, NoPanic, PooledEscape, MapDeterminism, MmapLife, EpochKey, ObsNames}
 }
 
 // pathIn reports whether pkgPath is one of (or a child of) the given

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// ObsNames guards the PR 9 observability surface. Metric names are an
+// external API — dashboards and alerts grep for them — so every name
+// handed to an obs.Registry must be a string literal (greppable), in
+// the charles_-prefixed snake_case grammar the registry enforces at
+// runtime, and registered only once per package (a duplicate panics
+// at boot, which this catches at lint time instead). Trace spans are
+// the other half: a Trace.Start or Span.Child whose result is
+// dropped, or bound to a variable that never has End() called on it,
+// silently loses the stage's time — the trace reads as if the stage
+// never ran.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc: "obs metric names must be literal charles_-prefixed snake_case " +
+		"strings registered once per package; every started span must End",
+	Applies: func(pkgPath string) bool {
+		// internal/obs defines the contract (and its tests exercise
+		// deliberately bad names); everything else must obey it.
+		return pkgPath != "charles/internal/obs" && pathIn(pkgPath, "charles")
+	},
+	Run: runObsNames,
+}
+
+// obsMetricNameRx mirrors the registry's boot-time grammar check.
+var obsMetricNameRx = regexp.MustCompile(`^charles(_[a-z0-9]+)+$`)
+
+// obsRegisterMethods are the Registry methods whose first argument is
+// a metric family name.
+var obsRegisterMethods = map[string]bool{
+	"NewCounter":     true,
+	"NewGauge":       true,
+	"NewGaugeFunc":   true,
+	"NewCounterFunc": true,
+	"NewHistogram":   true,
+}
+
+func runObsNames(pass *Pass) error {
+	// Registered names accumulate across the whole package: two files
+	// registering the same family is exactly the boot-time panic this
+	// analyzer front-runs.
+	seen := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkObsRegistration(pass, call, seen)
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSpanFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isObsNamed reports whether t is (a pointer to) the named obs type.
+func isObsNamed(t types.Type, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "charles/internal/obs" && obj.Name() == name
+}
+
+// checkObsRegistration flags non-literal, malformed, or duplicate
+// metric names at Registry registration sites.
+func checkObsRegistration(pass *Pass, call *ast.CallExpr, seen map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !obsRegisterMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	tv, found := pass.Info.Types[sel.X]
+	if !found || !isObsNamed(tv.Type, "Registry") {
+		return
+	}
+	name, ok := stringLiteral(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to %s must be a string literal: names are an external, greppable API", sel.Sel.Name)
+		return
+	}
+	if !obsMetricNameRx.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q must be snake_case with a charles_ prefix", name)
+		return
+	}
+	if seen[name] {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q is registered more than once in this package: the registry panics on duplicates at boot", name)
+		return
+	}
+	seen[name] = true
+}
+
+// stringLiteral resolves e to a compile-time string constant — a
+// quoted literal or a named string constant both qualify.
+func stringLiteral(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// spanStartCall classifies call as Trace.Start or Span.Child.
+func spanStartCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Start", "Child":
+	default:
+		return false
+	}
+	tv, found := pass.Info.Types[sel.X]
+	if !found {
+		return false
+	}
+	return isObsNamed(tv.Type, "Trace") || isObsNamed(tv.Type, "Span")
+}
+
+// checkSpanFunc applies the pooledescape-style pairing approximation
+// within one function: a span bound to a variable needs an End() call
+// on that variable somewhere in the body (defer included — what the
+// analyzer wants is that the author wrote the End, not path-sensitive
+// proof); a span whose result is discarded can never end.
+func checkSpanFunc(pass *Pass, fd *ast.FuncDecl) {
+	type startSite struct {
+		key  string // "" = result discarded
+		call *ast.CallExpr
+	}
+	var starts []startSite
+	ended := map[string]bool{}
+	chainEnded := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && spanStartCall(pass, call) {
+				starts = append(starts, startSite{"", call})
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != len(n.Lhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !spanStartCall(pass, call) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					starts = append(starts, startSite{id.Name, call})
+				} else {
+					starts = append(starts, startSite{"", call})
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "End" || len(n.Args) != 0 {
+				return true
+			}
+			tv, found := pass.Info.Types[sel.X]
+			if !found || !isObsNamed(tv.Type, "Span") {
+				return true
+			}
+			if inner, ok := sel.X.(*ast.CallExpr); ok {
+				// Chained tr.Start("x").End() — ends the start it wraps.
+				chainEnded[inner] = true
+				return true
+			}
+			ended[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+
+	for _, s := range starts {
+		switch {
+		case chainEnded[s.call]:
+		case s.key == "":
+			pass.Reportf(s.call.Pos(),
+				"span result discarded: bind the Start/Child result and call End() or the stage's time is lost")
+		case !ended[s.key]:
+			pass.Reportf(s.call.Pos(),
+				"span %q is started but never End()ed in this function: the stage's time is lost", s.key)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package obsnames is the analysistest fixture for the obsnames
+// analyzer: non-literal, malformed and duplicate metric names are
+// flagged, as are spans that are dropped or never ended; literal
+// well-formed names, const names, chained End, deferred End and the
+// justified suppression escape are not.
+package obsnames
+
+import (
+	"time"
+
+	"charles/internal/obs"
+)
+
+const goodConst = "charles_const_named_total"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.NewCounter("charles_good_total", "fine")
+	reg.NewGauge(goodConst, "named constants are still greppable")
+	reg.NewCounter(dynamic, "who knows")                            // want "must be a string literal"
+	reg.NewGauge("hits_total", "no prefix")                         // want "charles_ prefix"
+	reg.NewHistogram("charles_UpperCase", "bad case", []float64{1}) // want "snake_case"
+	reg.NewCounter("charles_good_total", "again")                   // want "registered more than once"
+	reg.NewGaugeFunc("charles_depth", "fine", func() int64 { return 0 })
+	reg.NewCounterFunc("charles__double", "empty segment", func() int64 { return 0 }) // want "snake_case"
+}
+
+func justified(reg *obs.Registry, dynamic string) {
+	reg.NewCounter(dynamic, "suppressed site") // want "must be a string literal"
+	//lint:obsnames the name is assembled from a reviewed table at boot
+	reg.NewCounter(dynamic, "suppressed site")
+}
+
+func spans(tr *obs.Trace) {
+	sp := tr.Start("good")
+	defer sp.End()
+
+	tr.Start("dropped") // want "span result discarded"
+
+	leaked := tr.Start("leaked") // want "never End"
+	_ = leaked
+
+	child := sp.Child("child_good")
+	child.End()
+
+	sp.Child("chained").End()
+
+	_ = tr.Start("blank") // want "span result discarded"
+
+	tr.Observe("pre_measured", time.Millisecond) // Observe is not Start: nothing to pair
+}

@@ -1,0 +1,72 @@
+// Package obs is the observability substrate for the whole stack:
+// atomic counters and gauges, fixed-bucket histograms, a Registry
+// with Prometheus text-format exposition, and a lightweight span
+// Trace for per-advise stage timing. It is stdlib-only and built
+// around one rule: instrumentation is opt-in and free when absent.
+// Every method on Counter, Gauge, Histogram, Trace, and Span is
+// nil-safe, so library packages hold plain pointers that default to
+// nil and the hot paths pay a single predictable branch.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Negative n is ignored: counters only go up.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count. Nil reads as zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; a nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reports the current value. Nil reads as zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

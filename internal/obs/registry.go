@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry owns a process's metric families and renders them in the
+// Prometheus text exposition format. Registration happens at boot —
+// a malformed or duplicate name is a programming error and panics —
+// and reads are concurrent-safe thereafter.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]bool
+}
+
+type family struct {
+	name  string
+	help  string
+	kind  string // "counter", "gauge", "histogram"
+	ctr   *Counter
+	gauge *Gauge
+	fn    func() int64 // gauge-from-function, evaluated at scrape
+	hist  *Histogram
+}
+
+var metricNameRx = regexp.MustCompile(`^charles(_[a-z0-9]+)+$`)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]bool{}}
+}
+
+func (r *Registry) register(f *family) {
+	if !metricNameRx.MatchString(f.name) {
+		panic("obs: metric name " + strconv.Quote(f.name) + " must be snake_case with a charles_ prefix")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[f.name] {
+		panic("obs: metric " + f.name + " registered twice")
+	}
+	r.byName[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: "counter", ctr: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: "gauge", gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at
+// scrape time — for values another structure already tracks
+// (queue depth, cache size) so they are not double-counted.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	r.register(&family{name: name, help: help, kind: "gauge", fn: fn})
+}
+
+// NewCounterFunc is NewGaugeFunc with counter semantics: fn must be
+// monotonically non-decreasing (a total another structure already
+// accumulates, like the job manager's submission count).
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.register(&family{name: name, help: help, kind: "counter", fn: fn})
+}
+
+// NewHistogram registers and returns a histogram over the given
+// sorted upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&family{name: name, help: help, kind: "histogram", hist: h})
+	return h
+}
+
+// WritePrometheus renders every family in registration order:
+// # HELP and # TYPE lines first, then the samples. Histograms emit
+// cumulative _bucket{le="..."} series plus _sum and _count, exactly
+// as the Prometheus text format specifies.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case f.ctr != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.ctr.Value())
+		case f.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+		case f.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.fn())
+		case f.hist != nil:
+			err = writeHistogram(w, f.name, f.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	counts, inf := h.snapshot()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(h.bounds[i]), cum); err != nil {
+			return err
+		}
+	}
+	cum += inf
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Names reports the registered family names in registration order —
+// the smoke test and grammar test use it to assert coverage.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.families))
+	for i, f := range r.families {
+		names[i] = f.name
+	}
+	return names
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace accumulates named stage timings for one logical operation
+// (an advise). Stages with the same name under the same parent
+// accumulate — an adaptive loop that opens "trials" forty times
+// yields one stage with count 40 — so the summary stays bounded no
+// matter how long the operation runs. All methods are safe on a nil
+// *Trace and safe for concurrent use, but spans themselves are
+// owned by the goroutine that Started them.
+type Trace struct {
+	mu   sync.Mutex
+	root stage
+}
+
+type stage struct {
+	name     string
+	count    int64
+	total    time.Duration
+	children []*stage
+}
+
+// Span is one open stage timer. End stops it and folds the elapsed
+// time into its trace.
+type Span struct {
+	tr     *Trace
+	parent *stage
+	name   string
+	start  time.Time
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{}
+}
+
+// Start opens a top-level stage. The returned span must be Ended on
+// every path (the obsnames analyzer machine-checks this).
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, parent: &t.root, name: name, start: time.Now()}
+}
+
+// Child opens a stage nested under s. Safe on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	// Resolve the child's parent node now, under the lock, so End
+	// can fold into it without re-walking.
+	s.tr.mu.Lock()
+	node := s.parent.child(s.name)
+	s.tr.mu.Unlock()
+	return &Span{tr: s.tr, parent: node, name: name, start: time.Now()}
+}
+
+// End closes the span, accumulating its elapsed time. Safe on a nil
+// span and idempotent only in the sense that a second End records a
+// second (near-zero) interval — call it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	node := s.parent.child(s.name)
+	node.count++
+	node.total += d
+	s.tr.mu.Unlock()
+}
+
+// Observe folds a pre-measured duration into a top-level stage —
+// for timings captured outside a span (queue wait, for instance).
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	node := t.root.child(name)
+	node.count++
+	node.total += d
+	t.mu.Unlock()
+}
+
+// child finds or appends the named child. Callers hold t.mu.
+func (st *stage) child(name string) *stage {
+	for _, c := range st.children {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &stage{name: name}
+	st.children = append(st.children, c)
+	return c
+}
+
+// StageSummary is one node of a serialized trace.
+type StageSummary struct {
+	Name       string         `json:"name"`
+	Count      int64          `json:"count"`
+	DurationNS int64          `json:"duration_ns"`
+	Children   []StageSummary `json:"children,omitempty"`
+}
+
+// Summary snapshots the trace as a stage tree, in first-start
+// order. A nil trace summarizes to nil.
+func (t *Trace) Summary() []StageSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return summarize(t.root.children)
+}
+
+func summarize(sts []*stage) []StageSummary {
+	if len(sts) == 0 {
+		return nil
+	}
+	out := make([]StageSummary, len(sts))
+	for i, st := range sts {
+		out[i] = StageSummary{
+			Name:       st.name,
+			Count:      st.count,
+			DurationNS: int64(st.total),
+			Children:   summarize(st.children),
+		}
+	}
+	return out
+}
+
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tr. A nil trace
+// returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom extracts the trace from ctx, or nil — including for a
+// nil ctx, so deep library code can call it unconditionally.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"charles/internal/dataset"
+	"charles/internal/engine"
+	"charles/internal/obs"
 	"charles/internal/sdl"
 )
 
@@ -19,6 +21,22 @@ import (
 func TestWarmPairwiseAllocBudget(t *testing.T) {
 	tab := dataset.VOC(20000, 7)
 	ev := NewEvaluator(tab)
+	// The budgets hold with a live recorder attached: instrumentation
+	// is one atomic load plus atomic adds, never an allocation. A
+	// no-op-recorder-only budget would let the /metrics path regress
+	// unwatched.
+	engine.SetMetrics(&engine.Metrics{
+		ZoneSkip: &obs.Counter{}, ZoneTake: &obs.Counter{}, ZoneScan: &obs.Counter{},
+		VectorKernels: &obs.Counter{}, FusedKernels: &obs.Counter{},
+	})
+	defer engine.SetMetrics(nil)
+	em := &EvalMetrics{
+		FullEvals: &obs.Counter{}, NarrowEvals: &obs.Counter{}, CacheHits: &obs.Counter{},
+		CutPointCalcs: &obs.Counter{}, CutCacheHits: &obs.Counter{},
+		DeltaRefreshes: &obs.Counter{}, CutRefreshes: &obs.Counter{},
+		PairMemoHits: &obs.Counter{}, PairMemoMisses: &obs.Counter{},
+	}
+	ev.SetEvalMetrics(em)
 	ctx, err := sdl.ContextOn(tab, "tonnage", "built")
 	if err != nil {
 		t.Fatal(err)
@@ -87,5 +105,8 @@ func TestWarmPairwiseAllocBudget(t *testing.T) {
 			}
 			t.Logf("warm %s: %.1f allocs/op (budget %.0f)", c.name, avg, c.budget)
 		})
+	}
+	if em.PairMemoHits.Value() == 0 {
+		t.Error("live recorder saw no pair-memo hits on the warm path: the counters are not wired")
 	}
 }

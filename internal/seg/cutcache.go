@@ -95,7 +95,7 @@ func (e *Evaluator) cutPieces(q sdl.Query, attr string, col engine.Column, cs *e
 	if !e.caching.Load() {
 		pieces, _, err := e.computeCut(attr, col, cs, pointSel, opt, false)
 		if err == nil && len(pieces) >= 2 {
-			e.cutPointCalcs.Add(1)
+			e.countCutPointCalc()
 		}
 		return pieces, err
 	}
@@ -103,6 +103,7 @@ func (e *Evaluator) cutPieces(q sdl.Query, attr string, col engine.Column, cs *e
 	cur := e.tab.Stamp()
 	if ent, ok := e.cachedCutEntry(key); ok {
 		if ent.stamp.Version() == cur.Version() {
+			e.countCutCacheHit()
 			return ent.pieces, nil
 		}
 		if pieces, ok := e.refreshCut(key, ent, attr, col, cs, pointSel, opt, cur); ok {
@@ -114,7 +115,7 @@ func (e *Evaluator) cutPieces(q sdl.Query, attr string, col engine.Column, cs *e
 		return nil, err
 	}
 	if len(pieces) >= 2 {
-		e.cutPointCalcs.Add(1)
+		e.countCutPointCalc()
 	}
 	e.storeCut(key, cachedCut{pieces: pieces, stamp: cur, intRuns: state.intRuns, strCounts: state.strCounts})
 	return pieces, nil
@@ -221,9 +222,9 @@ func (e *Evaluator) refreshCut(key string, ent cachedCut, attr string, col engin
 	default:
 		return nil, false
 	}
-	e.cutRefreshes.Add(1)
+	e.countCutRefresh()
 	if len(pieces) >= 2 {
-		e.cutPointCalcs.Add(1)
+		e.countCutPointCalc()
 	}
 	e.storeCut(key, cachedCut{pieces: pieces, stamp: cur, intRuns: state.intRuns, strCounts: state.strCounts})
 	return pieces, true

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"charles/internal/engine"
+	"charles/internal/obs"
 	"charles/internal/sdl"
 )
 
@@ -40,6 +41,31 @@ type Counters struct {
 	// same way: dirty chunks re-gathered and re-sorted (or
 	// recounted), clean chunks' sorted runs and count vectors reused.
 	CutRefreshes int
+	// CutCacheHits counts cut-point sets served straight from the cut
+	// cache without recomputation.
+	CutCacheHits int
+	// PairMemoHits / PairMemoMisses count pairwise-operand sides
+	// served from (or built into) a PairMemo.
+	PairMemoHits   int
+	PairMemoMisses int
+}
+
+// EvalMetrics is the evaluator's external instrumentation hook:
+// nil-safe obs counters mirroring the Counters fields, bumped at the
+// same sites, so a server can expose live totals without polling.
+// Cache misses are the evaluations themselves — FullEvals and
+// NarrowEvals count exactly the lookups that missed. The default
+// hook (all-nil fields) records nothing and costs one atomic load.
+type EvalMetrics struct {
+	FullEvals      *obs.Counter
+	NarrowEvals    *obs.Counter
+	CacheHits      *obs.Counter
+	CutPointCalcs  *obs.Counter
+	DeltaRefreshes *obs.Counter
+	CutRefreshes   *obs.Counter
+	CutCacheHits   *obs.Counter
+	PairMemoHits   *obs.Counter
+	PairMemoMisses *obs.Counter
 }
 
 // cacheShards is the number of independent lock stripes of the
@@ -127,6 +153,13 @@ type Evaluator struct {
 	cutPointCalcs  atomic.Int64
 	deltaRefreshes atomic.Int64
 	cutRefreshes   atomic.Int64
+	cutCacheHits   atomic.Int64
+	pairMemoHits   atomic.Int64
+	pairMemoMisses atomic.Int64
+
+	// em is the installed EvalMetrics hook; always non-nil (zero
+	// value = no-op), swapped atomically by SetEvalMetrics.
+	em atomic.Pointer[EvalMetrics]
 }
 
 // NewEvaluator returns a caching evaluator over t.
@@ -140,8 +173,32 @@ func NewEvaluator(t *engine.Table) *Evaluator {
 	}
 	e.caching.Store(true)
 	e.zonePruning.Store(true)
+	e.em.Store(&EvalMetrics{})
 	return e
 }
+
+// SetEvalMetrics installs the instrumentation hook; nil restores the
+// no-op default. Hook counters only ever accumulate — they never
+// influence evaluation — so installing one cannot change results.
+func (e *Evaluator) SetEvalMetrics(m *EvalMetrics) {
+	if m == nil {
+		m = &EvalMetrics{}
+	}
+	e.em.Store(m)
+}
+
+// The count* helpers bump an internal counter and its hook mirror
+// together, so Counters() snapshots and live obs totals cannot
+// drift. All are alloc-free: two atomic adds and a pointer load.
+func (e *Evaluator) countFullEval()     { e.fullEvals.Add(1); e.em.Load().FullEvals.Inc() }
+func (e *Evaluator) countNarrowEval()   { e.narrowEvals.Add(1); e.em.Load().NarrowEvals.Inc() }
+func (e *Evaluator) countCacheHit()     { e.cacheHits.Add(1); e.em.Load().CacheHits.Inc() }
+func (e *Evaluator) countCutPointCalc() { e.cutPointCalcs.Add(1); e.em.Load().CutPointCalcs.Inc() }
+func (e *Evaluator) countDeltaRefresh() { e.deltaRefreshes.Add(1); e.em.Load().DeltaRefreshes.Inc() }
+func (e *Evaluator) countCutRefresh()   { e.cutRefreshes.Add(1); e.em.Load().CutRefreshes.Inc() }
+func (e *Evaluator) countCutCacheHit()  { e.cutCacheHits.Add(1); e.em.Load().CutCacheHits.Inc() }
+func (e *Evaluator) countPairMemoHit()  { e.pairMemoHits.Add(1); e.em.Load().PairMemoHits.Inc() }
+func (e *Evaluator) countPairMemoMiss() { e.pairMemoMisses.Add(1); e.em.Load().PairMemoMisses.Inc() }
 
 // SetZonePruning toggles zone-map chunk pruning (numeric min/max and
 // nominal presence verdicts). Pruning never changes results — only
@@ -208,6 +265,9 @@ func (e *Evaluator) Counters() Counters {
 		CutPointCalcs:  int(e.cutPointCalcs.Load()),
 		DeltaRefreshes: int(e.deltaRefreshes.Load()),
 		CutRefreshes:   int(e.cutRefreshes.Load()),
+		CutCacheHits:   int(e.cutCacheHits.Load()),
+		PairMemoHits:   int(e.pairMemoHits.Load()),
+		PairMemoMisses: int(e.pairMemoMisses.Load()),
 	}
 }
 
@@ -219,6 +279,9 @@ func (e *Evaluator) ResetCounters() {
 	e.cutPointCalcs.Store(0)
 	e.deltaRefreshes.Store(0)
 	e.cutRefreshes.Store(0)
+	e.cutCacheHits.Store(0)
+	e.pairMemoHits.Store(0)
+	e.pairMemoMisses.Store(0)
 }
 
 // CacheLen returns the number of cached selections.
@@ -337,7 +400,7 @@ func (e *Evaluator) packedSelection(q sdl.Query, cs *engine.ChunkedSelection) *e
 			ent.bm.NumRows() == ent.stamp.NumRows() && ent.bm.ChunkRows() == cur.ChunkRows() &&
 			cs.NumRows() == cur.NumRows() && cs.ChunkRows() == cur.ChunkRows() {
 			bm := engine.SpliceBitmap(ent.bm, engine.NewBitmapChunked(engine.RestrictChunked(cs, dirty)), dirty)
-			e.deltaRefreshes.Add(1)
+			e.countDeltaRefresh()
 			e.storeBitmap(key, bm, cur)
 			return bm
 		}
@@ -363,24 +426,24 @@ func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 	if caching {
 		if ent, ok := e.cachedPacked(key); ok {
 			if ent.stamp.Version() == cur.Version() {
-				e.cacheHits.Add(1)
+				e.countCacheHit()
 				return ent.bm, nil
 			}
 			if bm, ok := e.refreshBitmap(q, ent, cur); ok {
-				e.deltaRefreshes.Add(1)
+				e.countDeltaRefresh()
 				e.storeBitmap(key, bm, cur)
 				return bm, nil
 			}
 		}
 		if ent, ok := e.cached(key); ok {
 			if ent.stamp.Version() == cur.Version() {
-				e.cacheHits.Add(1)
+				e.countCacheHit()
 				bm := engine.NewBitmapChunked(ent.cs)
 				e.storeBitmap(key, bm, ent.stamp)
 				return bm, nil
 			}
 			if cs, ok := e.refreshChunked(q, ent, cur); ok {
-				e.deltaRefreshes.Add(1)
+				e.countDeltaRefresh()
 				e.store(key, cs, cur)
 				bm := engine.NewBitmapChunked(cs)
 				e.storeBitmap(key, bm, cur)
@@ -399,7 +462,7 @@ func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 	if last < 0 {
 		// Unconstrained context: pack the identity selection.
 		bm := engine.NewBitmapChunked(cs)
-		e.fullEvals.Add(1)
+		e.countFullEval()
 		if caching {
 			e.storeBitmap(key, bm, cur)
 		}
@@ -419,7 +482,7 @@ func (e *Evaluator) SelectBitmap(q sdl.Query) (*engine.Bitmap, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.fullEvals.Add(1)
+	e.countFullEval()
 	if caching {
 		e.storeBitmap(key, bm, cur)
 	}
@@ -533,11 +596,11 @@ func (e *Evaluator) SelectChunked(q sdl.Query) (*engine.ChunkedSelection, error)
 	if caching {
 		if ent, ok := e.cached(key); ok {
 			if ent.stamp.Version() == cur.Version() {
-				e.cacheHits.Add(1)
+				e.countCacheHit()
 				return ent.cs, nil
 			}
 			if cs, ok := e.refreshChunked(q, ent, cur); ok {
-				e.deltaRefreshes.Add(1)
+				e.countDeltaRefresh()
 				e.store(key, cs, cur)
 				return cs, nil
 			}
@@ -554,7 +617,7 @@ func (e *Evaluator) SelectChunked(q sdl.Query) (*engine.ChunkedSelection, error)
 			return nil, err
 		}
 	}
-	e.fullEvals.Add(1)
+	e.countFullEval()
 	if caching {
 		e.store(key, cs, cur)
 	}
@@ -595,7 +658,7 @@ func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Q
 	if caching {
 		if ent, ok := e.cached(key); ok {
 			if ent.stamp.Version() == cur.Version() {
-				e.cacheHits.Add(1)
+				e.countCacheHit()
 				return ent.cs, nil
 			}
 			// Stale after mutation: parentCS is the child's current
@@ -609,7 +672,7 @@ func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Q
 					return nil, err
 				}
 				cs := engine.SpliceChunked(ent.cs, fresh, dirty)
-				e.deltaRefreshes.Add(1)
+				e.countDeltaRefresh()
 				e.store(key, cs, cur)
 				return cs, nil
 			}
@@ -619,7 +682,7 @@ func (e *Evaluator) NarrowChunked(parentCS *engine.ChunkedSelection, child sdl.Q
 	if err != nil {
 		return nil, err
 	}
-	e.narrowEvals.Add(1)
+	e.countNarrowEval()
 	if caching {
 		e.store(key, cs, cur)
 	}

@@ -145,8 +145,10 @@ func buildSide(ev *Evaluator, s *Segmentation, opt PairOptions) (*pairSide, erro
 		// a single concatenation on the warm path.
 		memoKey = ev.Table().Fingerprint() + "\x00" + opt.Rep.String() + "\x00" + s.Key()
 		if side, ok := opt.Memo.get(memoKey); ok {
+			ev.countPairMemoHit()
 			return side, nil
 		}
+		ev.countPairMemoMiss()
 	}
 	n := len(s.Queries)
 	sels := make([]engine.Selection, n)

@@ -1,0 +1,58 @@
+package charles
+
+import (
+	"context"
+	"testing"
+
+	"charles/internal/obs"
+)
+
+// TestAdviseByteIdenticalWithTracing pins the tracing contract: the
+// stage spans the core records are observational only, so an advise
+// run under a live Trace renders byte-identically to the same advise
+// without one. Two independent advisors over identical data isolate
+// the comparison from evaluator cache state.
+func TestAdviseByteIdenticalWithTracing(t *testing.T) {
+	const ctxStr = "(type_of_boat:, tonnage:, departure_harbour:)"
+
+	advPlain := NewAdvisor(GenerateVOC(3000, 3), DefaultConfig())
+	qPlain, err := advPlain.ParseContext(ctxStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := advPlain.AdviseCtx(context.Background(), qPlain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	advTraced := NewAdvisor(GenerateVOC(3000, 3), DefaultConfig())
+	qTraced, err := advTraced.ParseContext(ctxStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	traced, err := advTraced.AdviseCtx(obs.ContextWithTrace(context.Background(), tr), qTraced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := RenderRanked(traced, 10), RenderRanked(plain, 10); got != want {
+		t.Errorf("traced advise rendered differently:\n--- traced ---\n%s\n--- plain ---\n%s", got, want)
+	}
+	if traced.Iterations != plain.Iterations || traced.IndepEvals != plain.IndepEvals {
+		t.Errorf("traced advise did different work: iterations %d vs %d, indep evals %d vs %d",
+			traced.Iterations, plain.Iterations, traced.IndepEvals, plain.IndepEvals)
+	}
+
+	// The trace must actually have recorded the core stages — an
+	// empty summary would make the identity above vacuous.
+	stages := map[string]bool{}
+	for _, st := range tr.Summary() {
+		stages[st.Name] = true
+	}
+	for _, want := range []string{"initial_cuts", "indep_pairs"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (got %v)", want, tr.Summary())
+		}
+	}
+}
