@@ -6,9 +6,9 @@ GO ?= go
 
 # Perf-trajectory artifact name; tracks the PR sequence so successive
 # baselines never overwrite each other in the artifact history.
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 
-.PHONY: all build test test-race bench bench-smoke bench-json bench-scale bench-delta fmt fmt-check vet lint fuzz-smoke metrics-smoke docs-check ci
+.PHONY: all build test test-race bench bench-smoke bench-json bench-scale bench-delta fmt fmt-check vet lint fuzz-smoke chaos metrics-smoke docs-check ci
 
 all: build
 
@@ -91,6 +91,14 @@ fuzz-smoke:
 	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzReadPage -fuzztime=20s -fuzzminimizetime=30x
 	$(GO) test ./internal/colfile -run=NONE -fuzz=FuzzOpenColumnFile -fuzztime=20s -fuzzminimizetime=30x
 
+# Chaos gate: the failpoint suite under the race detector. Every
+# TestChaos* test arms an internal/fault failpoint (catalogue in
+# docs/ROBUSTNESS.md) and requires a descriptive error or a contained
+# panic — never a crash — plus byte-identical advise output once the
+# fault is disarmed.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./...
+
 # Observability gate: boot a real charles-server, run one advise, and
 # require /healthz + /metrics to answer 200 with every layer's metric
 # families present (scripts/metrics_smoke.sh).
@@ -103,4 +111,4 @@ metrics-smoke:
 docs-check:
 	$(GO) test -run='TestDocs' .
 
-ci: fmt-check vet lint build test-race fuzz-smoke metrics-smoke docs-check bench-json bench-delta
+ci: fmt-check vet lint build test-race chaos fuzz-smoke metrics-smoke docs-check bench-json bench-delta

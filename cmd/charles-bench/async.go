@@ -5,12 +5,13 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,7 @@ type asyncStats struct {
 	completed atomic.Int64
 	cached    atomic.Int64
 	rejected  atomic.Int64
+	overQuota atomic.Int64
 	failed    atomic.Int64
 
 	hist *obs.Histogram
@@ -109,6 +111,7 @@ func runAsync(w io.Writer, opt asyncOptions) error {
 	var wg sync.WaitGroup
 	wg.Add(opt.Concurrency)
 	for c := 0; c < opt.Concurrency; c++ {
+		id := fmt.Sprintf("bench-%d", c)
 		go func() {
 			defer wg.Done()
 			for {
@@ -117,7 +120,7 @@ func runAsync(w io.Writer, opt asyncOptions) error {
 					return
 				}
 				sdl := opt.Contexts[i%len(opt.Contexts)]
-				if err := st.submitAndWait(client, base, sdl, opt.PollEvery); err != nil {
+				if err := st.submitAndWait(client, base, id, sdl, opt.PollEvery); err != nil {
 					st.failed.Add(1)
 				}
 			}
@@ -134,24 +137,42 @@ func runAsync(w io.Writer, opt asyncOptions) error {
 }
 
 // submitAndWait runs one client job: submit, then poll to a terminal
-// state. Queue-full answers back off and retry — that is the
-// protocol the 503 + Retry-After asks for.
-func (st *asyncStats) submitAndWait(client *http.Client, base, sdl string, poll time.Duration) error {
+// state. Shed answers — 503 queue-full and 429 over-quota — back off
+// and retry with jittered exponential delays, never shorter than the
+// server's Retry-After. Honoring the hint matters for the report:
+// clients that hammer a shedding server measure their own retry storm,
+// not the serving policy.
+func (st *asyncStats) submitAndWait(client *http.Client, base, clientID, sdl string, poll time.Duration) error {
 	t0 := time.Now()
 	var job asyncJob
+	backoff := poll
 	for {
 		form := url.Values{"context": {sdl}}
-		resp, err := client.Post(base+"/advise", "application/x-www-form-urlencoded",
-			bytes.NewBufferString(form.Encode()))
+		req, err := http.NewRequest(http.MethodPost, base+"/advise",
+			strings.NewReader(form.Encode()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("X-Charles-Client", clientID)
+		resp, err := client.Do(req)
 		if err != nil {
 			return err
 		}
 		err = decodeJSON(resp, &job)
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			st.rejected.Add(1)
-			time.Sleep(poll)
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				st.overQuota.Add(1)
+			} else {
+				st.rejected.Add(1)
+			}
+			time.Sleep(retryDelay(backoff, resp.Header.Get("Retry-After")))
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 			continue
 		}
+		backoff = poll
 		if err != nil {
 			return err
 		}
@@ -189,7 +210,25 @@ func (st *asyncStats) submitAndWait(client *http.Client, base, sdl string, poll 
 }
 
 func terminalState(s string) bool {
-	return s == "done" || s == "failed" || s == "cancelled"
+	return s == "done" || s == "failed" || s == "cancelled" || s == "timed_out"
+}
+
+// maxBackoff caps the exponential retry delay: long enough that a
+// saturated queue drains between attempts, short enough that the
+// bench notices capacity the moment it frees up.
+const maxBackoff = 2 * time.Second
+
+// retryDelay picks the sleep before the next submission attempt:
+// full jitter in [cur/2, cur] to decorrelate the herd, floored by the
+// server's Retry-After header when one was sent.
+func retryDelay(cur time.Duration, retryAfter string) time.Duration {
+	d := cur/2 + time.Duration(rand.Int63n(int64(cur/2)+1))
+	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
+		if floor := time.Duration(s) * time.Second; d < floor {
+			d = floor
+		}
+	}
+	return d
 }
 
 func decodeJSON(resp *http.Response, v any) error {
@@ -245,6 +284,7 @@ func (st *asyncStats) report(w io.Writer, opt asyncOptions, wall time.Duration, 
 		p90.Round(time.Millisecond), p99.Round(time.Millisecond))
 	fmt.Fprintf(w, "| served from result cache | %d |\n", st.cached.Load())
 	fmt.Fprintf(w, "| queue-full rejections (retried) | %d |\n", st.rejected.Load())
+	fmt.Fprintf(w, "| over-quota refusals (retried) | %d |\n", st.overQuota.Load())
 	fmt.Fprintf(w, "| failed | %d |\n", st.failed.Load())
 	fmt.Fprintf(w, "| server advises run (total) | %d |\n", h.Advises)
 	fmt.Fprintf(w, "| server jobs submitted / coalesced | %d / %d |\n", h.JobsSubmitted, h.JobsCoalesced)

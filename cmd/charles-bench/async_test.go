@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryDelayJitterBounds(t *testing.T) {
+	cur := 400 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := retryDelay(cur, "")
+		if d < cur/2 || d > cur {
+			t.Fatalf("retryDelay(%v) = %v, want within [%v, %v]", cur, d, cur/2, cur)
+		}
+	}
+}
+
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		if d := retryDelay(100*time.Millisecond, "2"); d < 2*time.Second {
+			t.Fatalf("retryDelay floored below Retry-After: %v", d)
+		}
+	}
+	// Malformed or absent hints fall back to pure jitter.
+	for _, h := range []string{"", "soon", "-3", "0"} {
+		if d := retryDelay(100*time.Millisecond, h); d > 100*time.Millisecond {
+			t.Fatalf("Retry-After %q inflated the delay to %v", h, d)
+		}
+	}
+}
+
+func TestTerminalState(t *testing.T) {
+	for _, s := range []string{"done", "failed", "cancelled", "timed_out"} {
+		if !terminalState(s) {
+			t.Fatalf("%q must be terminal", s)
+		}
+	}
+	for _, s := range []string{"queued", "running", ""} {
+		if terminalState(s) {
+			t.Fatalf("%q must not be terminal", s)
+		}
+	}
+}

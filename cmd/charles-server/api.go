@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -168,20 +170,89 @@ func jsonError(w http.ResponseWriter, status int, msg string) {
 // adviseContext extracts the SDL context from a POST /advise
 // request — a JSON body {"context": "…"} or the context form/query
 // parameter — plus whether the caller opted into the stage trace
-// ("trace": true in the body, or a truthy trace parameter).
-func adviseContext(r *http.Request) (ctx string, wantTrace bool, err error) {
+// ("trace": true in the body, or a truthy trace parameter) and an
+// optional timeout_ms deadline override (the jobs layer clamps it to
+// the server's -job-timeout; it can only tighten). Body reads go
+// through the request's MaxBytesReader, so an oversized body surfaces
+// here as *http.MaxBytesError — including on the form path, where
+// FormValue alone would silently swallow it.
+func adviseContext(r *http.Request) (ctx string, wantTrace bool, timeout time.Duration, err error) {
+	parseTimeout := func(ms int64) (time.Duration, error) {
+		if ms < 0 {
+			return 0, fmt.Errorf("timeout_ms must be >= 0, got %d", ms)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
 		var body struct {
-			Context string `json:"context"`
-			Trace   bool   `json:"trace"`
+			Context   string `json:"context"`
+			Trace     bool   `json:"trace"`
+			TimeoutMS int64  `json:"timeout_ms"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			return "", false, errors.New("bad JSON body: " + err.Error())
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return "", false, 0, err
+			}
+			return "", false, 0, errors.New("bad JSON body: " + err.Error())
 		}
-		return body.Context, body.Trace || truthy(r.URL.Query().Get("trace")), nil
+		timeout, err := parseTimeout(body.TimeoutMS)
+		if err != nil {
+			return "", false, 0, err
+		}
+		return body.Context, body.Trace || truthy(r.URL.Query().Get("trace")), timeout, nil
 	}
-	return r.FormValue("context"), truthy(r.FormValue("trace")), nil
+	if err := r.ParseForm(); err != nil {
+		return "", false, 0, err
+	}
+	timeout = 0
+	if v := r.FormValue("timeout_ms"); v != "" {
+		ms, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return "", false, 0, fmt.Errorf("bad timeout_ms %q", v)
+		}
+		if timeout, err = parseTimeout(ms); err != nil {
+			return "", false, 0, err
+		}
+	}
+	return r.FormValue("context"), truthy(r.FormValue("trace")), timeout, nil
+}
+
+// clientID identifies the requester for quota purposes: an explicit
+// X-Charles-Client header (how a fleet of API clients shares one
+// egress IP honestly) or, absent that, the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Charles-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders a wait as a whole-second Retry-After
+// value, rounding up so "retry after" is never "retry immediately".
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// refuseTooLarge answers 413 for a body over the -max-body-bytes
+// bound, counted; reports whether err was that refusal.
+func (sv *server) refuseTooLarge(w http.ResponseWriter, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	sv.metrics.bodyTooLarge.Inc()
+	jsonError(w, http.StatusRequestEntityTooLarge,
+		fmt.Sprintf("request body exceeds the %d-byte limit (-max-body-bytes)", mbe.Limit))
+	return true
 }
 
 func truthy(s string) bool {
@@ -191,17 +262,22 @@ func truthy(s string) bool {
 // handleAdvise submits an advise job. A result-cache hit answers
 // immediately (200, cached: true); a coalesced or fresh submission
 // answers 202 with the job to poll — unless the hit job already
-// finished, which answers 200 with the result inline. A full queue
-// answers 503: the client should back off, not the server buffer
-// without bound.
+// finished, which answers 200 with the result inline. Refusals are
+// distinct on purpose (docs/ROBUSTNESS.md): 413 body too large, 429
+// over quota (your bucket — back off per its Retry-After), 503 queue
+// full (the server — everyone backs off).
 func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	qs, wantTrace, err := adviseContext(r)
+	r.Body = http.MaxBytesReader(w, r.Body, sv.maxBody)
+	qs, wantTrace, timeout, err := adviseContext(r)
 	if err != nil {
+		if sv.refuseTooLarge(w, err) {
+			return
+		}
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -221,6 +297,15 @@ func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Admission control sits after the cache (hits cost the server
+	// nothing worth rationing) and before the queue (a token spent on
+	// a queue-full rejection would punish the client twice).
+	if ok, retry := sv.quota.Allow(clientID(r)); !ok {
+		sv.metrics.overQuota.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		jsonError(w, http.StatusTooManyRequests, "over quota")
+		return
+	}
 	run := func(ctx context.Context, progress charles.ProgressFunc) (*charles.Result, error) {
 		res, err := sv.runAdvise(ctx, q, progress)
 		if err == nil && sv.results != nil {
@@ -231,9 +316,10 @@ func (sv *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		return res, err
 	}
-	j, err := sv.jobs.Submit(key, run)
+	j, err := sv.jobs.SubmitTimeout(key, run, timeout)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		sv.metrics.queueFull.Inc()
 		w.Header().Set("Retry-After", "1")
 		jsonError(w, http.StatusServiceUnavailable, "queue full")
 		return
@@ -419,10 +505,14 @@ func (sv *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, sv.maxBody)
 	var body struct {
 		Rows []map[string]any `json:"rows"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		if sv.refuseTooLarge(w, err) {
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
 		return
 	}

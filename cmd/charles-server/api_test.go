@@ -62,7 +62,7 @@ func (c *client) pollJob(id string) jsonJob {
 			c.t.Fatalf("poll response not JSON: %v", err)
 		}
 		switch jj.State {
-		case "done", "failed", "cancelled":
+		case "done", "failed", "cancelled", "timed_out":
 			return jj
 		}
 		time.Sleep(2 * time.Millisecond)

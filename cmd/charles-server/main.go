@@ -23,6 +23,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +38,7 @@ import (
 
 	"charles"
 	"charles/internal/engine"
+	"charles/internal/fault"
 	"charles/internal/jobs"
 	"charles/internal/obs"
 	"charles/internal/ui"
@@ -54,6 +56,12 @@ const sessionCookie = "charles_session"
 // users type arbitrary contexts, and without a cap each distinct
 // query would pin rows-sized selections in memory forever.
 const evaluatorCacheLimit = 1 << 16
+
+// defaultMaxBodyBytes bounds POST bodies (-max-body-bytes): an SDL
+// context is a few hundred bytes and even generous append batches fit
+// in a megabyte; anything larger is a mistake or an attack, refused
+// as 413 before it is read.
+const defaultMaxBodyBytes = 1 << 20
 
 // resultCacheCap bounds the cross-session result cache: advised
 // results keyed by (canonical context, config fingerprint), so
@@ -199,6 +207,12 @@ type server struct {
 	// result-cache counters — the latter shared with /healthz).
 	metrics *serverMetrics
 
+	// quota is per-client admission control in front of the job
+	// queue; nil (the default) admits everything. maxBody bounds
+	// request bodies on the POST endpoints.
+	quota   *jobs.Quota
+	maxBody int64
+
 	// tabMu enforces the engine's mutation contract at the service
 	// boundary: AppendRows must not run concurrently with advises
 	// (mutations serialize on the table's own mutex, but reads take
@@ -224,6 +238,7 @@ func newServer(adv *charles.Advisor, initialCtx charles.Query, jopt jobs.Options
 		jobs:       jobs.NewManager(jopt),
 		sessions:   make(map[string]*session),
 		metrics:    metrics,
+		maxBody:    defaultMaxBodyBytes,
 	}
 	// A custom ScoreFunc reorders results but cannot be
 	// fingerprinted (it is an arbitrary function), so caching under
@@ -250,6 +265,13 @@ func (sv *server) cacheKey(ctx charles.Query) string {
 // lock spans the whole advise — sync or async — so POST /append
 // cannot mutate mid-computation.
 func (sv *server) runAdvise(ctx context.Context, q charles.Query, progress charles.ProgressFunc) (*charles.Result, error) {
+	// The failpoint sits on both front ends: an injected error here
+	// surfaces as a failed job (async) or a 500 (sync); an injected
+	// panic proves runContained on one path and withRecover on the
+	// other.
+	if err := fault.Inject("server.advise"); err != nil {
+		return nil, fmt.Errorf("advise: %w", err)
+	}
 	sv.metrics.advises.Inc()
 	sv.tabMu.RLock()
 	defer sv.tabMu.RUnlock()
@@ -327,9 +349,23 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "async advise jobs the queue holds before rejecting (503)")
 		jobWorkers = flag.Int("job-workers", 2, "advises executing concurrently (independent of -workers, the per-advise fan-out)")
 		jobTTL     = flag.Duration("job-ttl", 5*time.Minute, "how long finished jobs stay pollable")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "deadline for one advise job; timed-out jobs report timed_out, not cancelled (0 = none)")
+		maxBody    = flag.Int64("max-body-bytes", defaultMaxBodyBytes, "largest POST body accepted; larger requests answer 413")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-client advise submissions per second; exceeding clients answer 429 (0 = no quota)")
+		quotaBurst = flag.Int("quota-burst", 8, "per-client token-bucket burst above -quota-rate")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = disabled)")
+		failpoints = flag.String("failpoints", os.Getenv("CHARLES_FAILPOINTS"),
+			"arm fault-injection sites, \"site=spec;site=spec\" (see docs/ROBUSTNESS.md); default $CHARLES_FAILPOINTS")
 	)
 	flag.Parse()
+
+	if err := fault.Configure(*failpoints); err != nil {
+		fmt.Fprintln(os.Stderr, "charles-server:", err)
+		os.Exit(1)
+	}
+	if armed := fault.Enabled(); len(armed) > 0 {
+		log.Printf("charles-server: CHAOS: failpoints armed: %s — this process is deliberately unreliable", strings.Join(armed, ", "))
+	}
 
 	var tab *charles.Table
 	var err error
@@ -379,7 +415,10 @@ func main() {
 		QueueDepth: *queueDepth,
 		Workers:    *jobWorkers,
 		TTL:        *jobTTL,
+		Timeout:    *jobTimeout,
 	})
+	srv.maxBody = *maxBody
+	srv.quota = jobs.NewQuota(*quotaRate, *quotaBurst)
 	display := *addr
 	if strings.HasPrefix(display, ":") {
 		display = "localhost" + display
@@ -391,17 +430,17 @@ func main() {
 	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.withAccessLogs(srv.mux()),
+		Handler:           srv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	// Graceful shutdown: on SIGINT/SIGTERM stop accepting work,
-	// drain the running advise jobs (queued ones are cancelled so
-	// their pollers see a terminal state), then let in-flight HTTP
-	// requests finish.
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting work, let
+	// in-flight HTTP requests finish, then drain the advise jobs
+	// (queued ones are cancelled so their pollers see a terminal
+	// state).
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	sigc := make(chan os.Signal, 1)
@@ -410,16 +449,38 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case sig := <-sigc:
-		log.Printf("charles-server: %v — draining jobs and shutting down", sig)
+		log.Printf("charles-server: %v — shutting down and draining jobs", sig)
 		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		if err := srv.jobs.Shutdown(dctx); err != nil {
-			log.Printf("charles-server: job drain: %v", err)
-		}
-		if err := hs.Shutdown(dctx); err != nil {
-			log.Printf("charles-server: http shutdown: %v", err)
+		if err := shutdownServing(dctx, hs, srv.jobs); err != nil {
+			log.Printf("charles-server: shutdown: %v", err)
 		}
 	}
+}
+
+// shutdowner is the graceful-stop surface http.Server and
+// jobs.Manager share.
+type shutdowner interface {
+	Shutdown(ctx context.Context) error
+}
+
+// shutdownServing stops the serving plane in the only safe order:
+// the listener first — it stops accepting and waits for in-flight
+// requests, whose handlers may still submit to the queue — then the
+// job queue drains. Draining the queue first would close it while
+// requests are still landing: every late submission would answer
+// "shutting down" even though the server looked alive from outside.
+func shutdownServing(ctx context.Context, listener, queue shutdowner) error {
+	lerr := listener.Shutdown(ctx)
+	qerr := queue.Shutdown(ctx)
+	return errors.Join(lerr, qerr)
+}
+
+// handler is the served handler chain: recover innermost so a panic
+// in any route turns into a counted 500, access logs outermost so
+// that 500 is logged like every other response.
+func (sv *server) handler() http.Handler {
+	return sv.withAccessLogs(sv.withRecover(sv.mux()))
 }
 
 // mux wires the handlers: the Figure 1 web UI plus the async job

@@ -39,16 +39,22 @@ func testServerOpts(t *testing.T, cfg charles.Config, jopt jobs.Options) *server
 	return sv
 }
 
-// client drives the server's mux like one browser: it remembers the
-// session cookie across requests.
+// client drives the server's handler like one browser: it remembers
+// the session cookie across requests.
 type client struct {
 	t       *testing.T
-	mux     *http.ServeMux
+	mux     http.Handler
 	session *http.Cookie
 }
 
 func newClient(t *testing.T, sv *server) *client {
 	return &client{t: t, mux: sv.mux()}
+}
+
+// newHandlerClient drives the full middleware chain (recover +
+// access logs), for tests that exercise panic containment.
+func newHandlerClient(t *testing.T, sv *server) *client {
+	return &client{t: t, mux: sv.handler()}
 }
 
 func (c *client) do(method, target string) (*http.Response, string) {

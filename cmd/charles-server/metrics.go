@@ -7,9 +7,11 @@
 package main
 
 import (
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"time"
 
 	"charles/internal/engine"
@@ -34,6 +36,16 @@ type serverMetrics struct {
 	advises      *obs.Counter
 	resultHits   *obs.Counter
 	resultMisses *obs.Counter
+
+	// Survivability counters. panicsRecovered is shared with the job
+	// manager (jobMetrics.PanicsRecovered is the same counter): one
+	// family counts containment events wherever they happen. The
+	// admission counters keep 429 and 503 distinguishable in
+	// dashboards, not just in status codes.
+	panicsRecovered *obs.Counter
+	overQuota       *obs.Counter
+	queueFull       *obs.Counter
+	bodyTooLarge    *obs.Counter
 
 	// Job queue histograms, handed to the jobs.Manager.
 	jobMetrics *jobs.Metrics
@@ -69,6 +81,8 @@ func newServerMetrics(ev *seg.Evaluator) *serverMetrics {
 		PairMemoMisses: reg.NewCounter("charles_seg_pair_memo_misses_total", "pairwise operand sides built fresh"),
 	})
 
+	panicsRecovered := reg.NewCounter("charles_panics_recovered_total",
+		"panics contained into a failed job or a 500 instead of killing the process")
 	return &serverMetrics{
 		reg: reg,
 		httpRequests: reg.NewCounter("charles_http_requests_total",
@@ -81,11 +95,19 @@ func newServerMetrics(ev *seg.Evaluator) *serverMetrics {
 			"advise results served from the cross-session LRU"),
 		resultMisses: reg.NewCounter("charles_result_cache_misses_total",
 			"advise requests that missed the cross-session LRU"),
+		panicsRecovered: panicsRecovered,
+		overQuota: reg.NewCounter("charles_http_over_quota_total",
+			"submissions refused 429: the client exceeded its token bucket"),
+		queueFull: reg.NewCounter("charles_http_queue_full_total",
+			"submissions refused 503: the job queue was saturated"),
+		bodyTooLarge: reg.NewCounter("charles_http_body_too_large_total",
+			"requests refused 413: body over the -max-body-bytes bound"),
 		jobMetrics: &jobs.Metrics{
 			QueueWait: reg.NewHistogram("charles_jobs_queue_wait_seconds",
 				"time a job waited for a worker", obs.DefaultLatencyBuckets()),
 			Run: reg.NewHistogram("charles_jobs_run_seconds",
 				"time a job's advise executed", obs.DefaultLatencyBuckets()),
+			PanicsRecovered: panicsRecovered,
 		},
 	}
 }
@@ -157,6 +179,32 @@ func (sv *server) withAccessLogs(next http.Handler) http.Handler {
 		sv.metrics.httpSeconds.Observe(dur.Seconds())
 		log.Printf("charles-server: access method=%s path=%s status=%d dur=%s remote=%s",
 			r.Method, r.URL.Path, sr.status, dur.Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// withRecover contains a panicking handler into a 500 and a counter
+// bump: one broken request must never take the process (and every
+// other user's session) down with it. http.ErrAbortHandler is
+// re-raised — it is net/http's own sanctioned way to abort a
+// response, not a bug to contain. The JSON 500 is best-effort: if the
+// handler already wrote a partial body, the error text simply lands
+// after it.
+func (sv *server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			sv.metrics.panicsRecovered.Inc()
+			log.Printf("charles-server: panic recovered serving %s %s: %v\n%s",
+				r.Method, r.URL.Path, rec, debug.Stack())
+			jsonError(w, http.StatusInternalServerError, fmt.Sprintf("panic recovered: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 

@@ -1,0 +1,169 @@
+// Chaos tests for the storage failpoints: every injected I/O fault
+// must surface as a descriptive error — never a panic, never a
+// half-open file — and once the fault is disarmed the same path must
+// open clean and verify clean.
+package colfile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"charles/internal/fault"
+)
+
+// armChaos resets the global fault registry, arms one site, and
+// guarantees a clean registry for whichever test runs next.
+func armChaos(t *testing.T, site, spec string) {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable(site, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosOpenFault(t *testing.T) {
+	path, _ := writeTestFile(t)
+	armChaos(t, "colfile.open", "error(disk cable wiggled loose)")
+
+	_, err := Open(path)
+	if err == nil {
+		t.Fatal("open succeeded under an injected open fault")
+	}
+	var inj *fault.InjectedError
+	if !errors.As(err, &inj) || inj.Site != "colfile.open" {
+		t.Fatalf("err = %v, want a wrapped InjectedError from colfile.open", err)
+	}
+	for _, want := range []string{"colfile: opening", path, "disk cable wiggled loose"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// Disarmed, the identical path opens and verifies clean.
+	fault.Reset()
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after disarm: %v", err)
+	}
+	defer f.Close()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after disarm: %v", err)
+	}
+}
+
+func TestChaosReadPageFault(t *testing.T) {
+	path, _ := writeTestFile(t)
+	armChaos(t, "colfile.readPage", "error(torn page)")
+
+	_, err := Open(path)
+	if err == nil {
+		t.Fatal("open succeeded under an injected page-read fault")
+	}
+	for _, want := range []string{"reading value pages", "torn page", "column"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	fault.Reset()
+	if f, err := Open(path); err != nil {
+		t.Fatalf("open after disarm: %v", err)
+	} else {
+		f.Close()
+	}
+}
+
+func TestChaosReadPageBudgetedFault(t *testing.T) {
+	path, _ := writeTestFile(t)
+	// A one-shot fault: the first page read fails, the retry succeeds
+	// — the transient-error shape real storage produces.
+	armChaos(t, "colfile.readPage", "1*error(transient)")
+
+	if _, err := Open(path); err == nil {
+		t.Fatal("first open ignored the budgeted fault")
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("retry after budget exhausted: %v", err)
+	}
+	f.Close()
+	if got := fault.Triggered("colfile.readPage"); got != 1 {
+		t.Fatalf("trigger count = %d, want 1", got)
+	}
+}
+
+func TestChaosVerifyFault(t *testing.T) {
+	path, _ := writeTestFile(t)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	armChaos(t, "colfile.verify", "error(checksum engine on fire)")
+	verr := f.Verify()
+	if verr == nil {
+		t.Fatal("verify passed under an injected fault")
+	}
+	for _, want := range []string{"verifying pages", "checksum engine on fire"} {
+		if !strings.Contains(verr.Error(), want) {
+			t.Fatalf("error %q does not mention %q", verr, want)
+		}
+	}
+	fault.Reset()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after disarm: %v", err)
+	}
+}
+
+func TestChaosBackendColumnFault(t *testing.T) {
+	path, _ := writeTestFile(t)
+	armChaos(t, "engine.backendColumn", "error(backend hiccup)")
+
+	_, err := OpenTable(path)
+	if err == nil {
+		t.Fatal("OpenTable succeeded under an injected backend fault")
+	}
+	for _, want := range []string{"fetching column", "backend hiccup"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	fault.Reset()
+	tab, err := OpenTable(path)
+	if err != nil {
+		t.Fatalf("OpenTable after disarm: %v", err)
+	}
+	tab.Close()
+}
+
+// TestChaosOpenNeverPanics drives every storage failpoint in sequence
+// against one file: whatever is armed, Open either succeeds or
+// returns an error — the process never dies. The deferred recover
+// turns any escape into a test failure with the site name attached.
+func TestChaosOpenNeverPanics(t *testing.T) {
+	path, _ := writeTestFile(t)
+	for _, site := range []string{"colfile.open", "colfile.readPage", "engine.backendColumn"} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("site %s: panic escaped Open: %v", site, r)
+				}
+			}()
+			armChaos(t, site, "error(chaos)")
+			if tab, err := OpenTable(path); err == nil {
+				tab.Close()
+				t.Errorf("site %s: fault did not fire", site)
+			}
+		}()
+	}
+	fault.Reset()
+	tab, err := OpenTable(path)
+	if err != nil {
+		t.Fatalf("clean reopen after the chaos sweep: %v", err)
+	}
+	tab.Close()
+}

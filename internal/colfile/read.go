@@ -11,6 +11,7 @@ import (
 	"unsafe"
 
 	"charles/internal/engine"
+	"charles/internal/fault"
 )
 
 // File is an opened columnar file: an engine.ColumnBackend whose
@@ -46,6 +47,9 @@ type File struct {
 func Open(path string) (*File, error) {
 	if !hostLittleEndian() {
 		return nil, fmt.Errorf("colfile: zero-copy reads require a little-endian host (§2)")
+	}
+	if err := fault.Inject("colfile.open"); err != nil {
+		return nil, fmt.Errorf("colfile: opening %s: %w", path, err)
 	}
 	data, unmap, err := mapFile(path)
 	if err != nil {
@@ -170,6 +174,9 @@ func (f *File) parse() error {
 		if len(cm.PageCRCs) != nChunks {
 			return fmt.Errorf("column %q carries %d page checksums, want one per chunk (%d) (§9)",
 				cm.Name, len(cm.PageCRCs), nChunks)
+		}
+		if err := fault.Inject("colfile.readPage"); err != nil {
+			return fmt.Errorf("column %q: reading value pages: %w", cm.Name, err)
 		}
 		raw := data[cm.Data.Offset : cm.Data.Offset+cm.Data.Length]
 
@@ -313,6 +320,9 @@ func (f *File) Close() error {
 // checksum mismatch.
 func (f *File) Verify() error {
 	for _, cm := range f.ft.Columns {
+		if err := fault.Inject("colfile.verify"); err != nil {
+			return fmt.Errorf("colfile: column %q: verifying pages: %w", cm.Name, err)
+		}
 		raw := f.data[cm.Data.Offset : cm.Data.Offset+cm.Data.Length]
 		kind, _ := engine.ParseKind(cm.Kind)
 		pageBytes := int64(f.chunkRows) * elemSize(kind)

@@ -1,6 +1,10 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"charles/internal/fault"
+)
 
 // ColumnBackend is the storage seam under a Table: it supplies the
 // physical columns and, when it has them, precomputed per-chunk zone
@@ -94,6 +98,9 @@ func NewTableFromBackend(b ColumnBackend) (*Table, error) {
 	t.cols = make([]Column, n)
 	t.rows = b.NumRows()
 	for i := 0; i < n; i++ {
+		if err := fault.Inject("engine.backendColumn"); err != nil {
+			return nil, fmt.Errorf("engine: table %q: fetching column %d from backend: %w", name, i, err)
+		}
 		c := b.Column(i)
 		if err := validateColumn(c); err != nil {
 			return nil, err

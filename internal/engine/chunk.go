@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"charles/internal/fault"
 	"charles/internal/par"
 )
 
@@ -300,7 +301,11 @@ func (t *Table) summaryIn(lay *tableLayout, i int) *ChunkSummary {
 	// They describe the file's contents, so only an unmutated table
 	// (version 0 — the only version a file-backed table can have) may
 	// serve them.
-	if t.backend != nil && cur.version == 0 {
+	// The failpoint models a backend whose persisted summaries are
+	// unreadable: the consult is skipped and the lazy scan-time build
+	// below serves instead — same answers, just slower. Degradation,
+	// not failure, is the contract chaos tests pin here.
+	if t.backend != nil && cur.version == 0 && fault.Inject("engine.backendSummary") == nil {
 		if s, ok := t.backend.ChunkSummary(i, lay.chunkRows); ok && s != nil {
 			lay.summaries[i].CompareAndSwap(nil, s)
 			return lay.summaries[i].Load()

@@ -23,16 +23,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"charles/internal/core"
+	"charles/internal/fault"
 	"charles/internal/obs"
 )
 
 // State is a job's lifecycle position: Queued → Running → one of
-// Done, Failed, Cancelled. Terminal jobs are retained (with their
-// result or error) for Options.TTL, then forgotten.
+// Done, Failed, Cancelled, TimedOut. Terminal jobs are retained (with
+// their result or error) for Options.TTL, then forgotten.
 type State uint8
 
 // Job states.
@@ -42,6 +45,10 @@ const (
 	StateDone
 	StateFailed
 	StateCancelled
+	// StateTimedOut is a job stopped by its own deadline rather than
+	// a caller's cancel — the operator-facing difference between "the
+	// client gave up" and "the server's patience ran out".
+	StateTimedOut
 )
 
 // String names the state for JSON payloads and logs.
@@ -57,6 +64,8 @@ func (s State) String() string {
 		return "failed"
 	case StateCancelled:
 		return "cancelled"
+	case StateTimedOut:
+		return "timed_out"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -96,20 +105,28 @@ type Options struct {
 	// pollable; expired jobs vanish lazily on the next Manager call.
 	// Default 5 minutes.
 	TTL time.Duration
+	// Timeout is the default deadline applied to every job's run
+	// context. Zero means no deadline. A job that exceeds it turns
+	// StateTimedOut (not StateCancelled) with a descriptive error.
+	Timeout time.Duration
 	// Metrics, when set, receives queue-wait and run-duration
 	// observations for every executed job. Nil (the default) records
 	// nothing.
 	Metrics *Metrics
 }
 
-// Metrics is the manager's instrumentation hook. Both fields are
-// nil-safe obs histograms, observed in seconds.
+// Metrics is the manager's instrumentation hook. All fields are
+// nil-safe obs instruments; histograms observe seconds.
 type Metrics struct {
 	// QueueWait is the time from submission to a worker picking the
 	// job up.
 	QueueWait *obs.Histogram
 	// Run is the time the RunFunc executed (queue wait excluded).
 	Run *obs.Histogram
+	// PanicsRecovered counts panics a worker contained into a failed
+	// job. Any value above zero is a bug report; the point of the
+	// counter is that the process was still alive to increment it.
+	PanicsRecovered *obs.Counter
 }
 
 func (o Options) normalize() Options {
@@ -128,12 +145,13 @@ func (o Options) normalize() Options {
 // Job is one unit of queued work. All mutable fields sit behind its
 // own mutex so pollers never contend with the manager lock.
 type Job struct {
-	id    string
-	key   string
-	run   RunFunc
-	cctx  context.Context
-	abort context.CancelFunc
-	done  chan struct{}
+	id      string
+	key     string
+	run     RunFunc
+	cctx    context.Context
+	abort   context.CancelFunc
+	done    chan struct{}
+	timeout time.Duration // effective deadline; 0 = none
 
 	// trace accumulates per-stage timings for this job: queue wait,
 	// total run time, and the advise phases the core layer reports
@@ -268,6 +286,19 @@ func NewManager(opt Options) *Manager {
 // after a failure runs fresh. A full queue returns ErrQueueFull, a
 // shut-down manager ErrClosed.
 func (m *Manager) Submit(key string, run RunFunc) (*Job, error) {
+	return m.SubmitTimeout(key, run, 0)
+}
+
+// SubmitTimeout is Submit with a per-job deadline override. The
+// override can only tighten the manager's Options.Timeout, never
+// extend it — a client may ask for less patience than the operator
+// configured, not more; zero (or negative) means "use the default".
+// A coalesced submission joins the existing job with the existing
+// job's deadline.
+func (m *Manager) SubmitTimeout(key string, run RunFunc, timeout time.Duration) (*Job, error) {
+	if timeout <= 0 || (m.opt.Timeout > 0 && timeout > m.opt.Timeout) {
+		timeout = m.opt.Timeout
+	}
 	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -292,6 +323,7 @@ func (m *Manager) Submit(key string, run RunFunc) (*Job, error) {
 		cctx:    cctx,
 		abort:   abort,
 		done:    make(chan struct{}),
+		timeout: timeout,
 		created: now,
 		trace:   obs.NewTrace(),
 	}
@@ -511,12 +543,23 @@ func (m *Manager) execute(j *Job) {
 	m.running++
 	m.mu.Unlock()
 
+	// The run context is the job's cancel context, tightened by the
+	// job's deadline when one is set. The two are distinguishable
+	// afterwards: a fired deadline leaves j.cctx clean.
+	rctx := j.cctx
+	cancel := context.CancelFunc(func() {})
+	if j.timeout > 0 {
+		rctx, cancel = context.WithTimeout(rctx, j.timeout)
+	}
+
 	// The job's trace rides the run context so the advise core can
 	// report its stages (obs.TraceFrom) without the jobs layer
 	// knowing what a stage is.
 	spRun := j.trace.Start("run")
-	res, err := j.run(obs.ContextWithTrace(j.cctx, j.trace), j.setProgress)
+	res, err := m.runContained(j, obs.ContextWithTrace(rctx, j.trace))
 	spRun.End()
+	timedOut := j.timeout > 0 && rctx.Err() == context.DeadlineExceeded && j.cctx.Err() == nil
+	cancel()
 	if m.opt.Metrics != nil {
 		m.opt.Metrics.Run.Observe(time.Since(started).Seconds())
 	}
@@ -534,6 +577,9 @@ func (m *Manager) execute(j *Job) {
 		// only desynchronize the job from the caches it already fed.
 		j.state = StateDone
 		j.res = res
+	case timedOut && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		j.state = StateTimedOut
+		j.err = fmt.Errorf("jobs: job %s exceeded its %v deadline: %w", j.id, j.timeout, context.DeadlineExceeded)
 	case errors.Is(err, context.Canceled) || j.cctx.Err() != nil:
 		j.state = StateCancelled
 		j.err = err
@@ -549,4 +595,27 @@ func (m *Manager) execute(j *Job) {
 		// the same key.
 		m.dropKeyFor(j)
 	}
+}
+
+// runContained invokes the job's RunFunc with panic containment: a
+// panicking advise marks its own job failed with a descriptive error
+// and the worker (and process) live on. The stack goes to the log —
+// the panic is still a bug to fix — and PanicsRecovered counts it so
+// dashboards see containment events even when nobody reads logs.
+func (m *Manager) runContained(j *Job, ctx context.Context) (res *core.Result, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if m.opt.Metrics != nil {
+			m.opt.Metrics.PanicsRecovered.Inc()
+		}
+		log.Printf("jobs: panic recovered in job %s: %v\n%s", j.id, r, debug.Stack())
+		res, err = nil, fmt.Errorf("jobs: panic recovered in job %s: %v", j.id, r)
+	}()
+	if ferr := fault.Inject("jobs.run"); ferr != nil {
+		return nil, fmt.Errorf("jobs: job %s: %w", j.id, ferr)
+	}
+	return j.run(ctx, j.setProgress)
 }

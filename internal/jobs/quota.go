@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// Quota is per-client token-bucket admission control for the advise
+// plane. Each client id owns a bucket refilled at rate tokens/second
+// up to burst; a submission spends one token. Allow answers the
+// admission question and, on refusal, how long until a token exists —
+// the Retry-After the API layer sends with its 429.
+//
+// Quota answers a different question than the queue bound: ErrQueueFull
+// means "the server is saturated" (503 — everyone's problem), an
+// exhausted bucket means "you specifically are over quota" (429 —
+// your problem). Conflating them teaches aggressive clients that
+// hammering harder sometimes works.
+//
+// A nil *Quota admits everything, so callers thread it unconditionally
+// and the disabled configuration costs nothing.
+type Quota struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the client table: adversarial client-id churn
+// must not grow server memory without bound. At the cap, the table is
+// dropped wholesale — momentarily over-admitting a burst per client
+// is a far better failure mode than OOM.
+const maxBuckets = 8192
+
+// NewQuota builds a quota admitting rate submissions/second with the
+// given burst per client. rate <= 0 returns nil: quota disabled.
+func NewQuota(rate float64, burst int) *Quota {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quota{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it reports false plus how long until the next token refills —
+// always at least a second, so it rounds to a usable Retry-After
+// header value.
+func (q *Quota) Allow(client string) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	return q.allowAt(client, time.Now())
+}
+
+// allowAt is Allow at an explicit instant, for deterministic tests.
+func (q *Quota) allowAt(client string, now time.Time) (bool, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[client]
+	if !ok {
+		if len(q.buckets) >= maxBuckets {
+			q.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	} else if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens = min(q.burst, b.tokens+el*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"fmt"
 	"sync"
 
 	"charles/internal/core"
@@ -46,11 +47,26 @@ func (g *Group) Do(key string, fn func() (*core.Result, error)) (*core.Result, e
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// The flight is released even when fn panics: waiters get a
+	// descriptive error instead of blocking forever on a WaitGroup
+	// nobody will ever Done, and the key is freed for the next
+	// caller. The panic itself is re-raised — containment policy
+	// (fail the job, answer 500) belongs to this caller's recover,
+	// not to the coalescing helper.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("jobs: panic in single-flight call: %v", r)
+			c.wg.Done()
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			panic(r)
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
 	c.res, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
 	return c.res, c.err, false
 }

@@ -1,0 +1,48 @@
+// Package leakcheck is the goroutine-hygiene helper for tests: it
+// snapshots the goroutine count when a test starts and fails the test
+// if the count has not returned to baseline by the time its cleanups
+// finish. A serving process that leaks a goroutine per advise, per
+// fault, or per shutdown dies slowly under the "millions of users"
+// load the ROADMAP targets; a leak caught here is a leak that never
+// ships.
+//
+// Call it before constructing the thing whose shutdown you are
+// checking — t.Cleanup runs LIFO, so the check registered first runs
+// last, after the subject's own cleanup tore it down:
+//
+//	leakcheck.Check(t)
+//	m := jobs.NewManager(opt)          // its cleanup shuts the pool down
+//	t.Cleanup(func() { m.Shutdown(ctx) })
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup that polls (goroutines settle
+// asynchronously after a Shutdown returns) until the goroutine count
+// is back at or below the baseline taken now, failing the test with a
+// full stack dump if it never is.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines at baseline, %d after cleanup; stacks:\n%s", base, n, buf)
+	})
+}

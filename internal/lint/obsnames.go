@@ -20,7 +20,8 @@ import (
 var ObsNames = &Analyzer{
 	Name: "obsnames",
 	Doc: "obs metric names must be literal charles_-prefixed snake_case " +
-		"strings registered once per package; every started span must End",
+		"strings registered once per package; every started span must End; " +
+		"fault failpoint sites must be literal dotted layer.site names",
 	Applies: func(pkgPath string) bool {
 		// internal/obs defines the contract (and its tests exercise
 		// deliberately bad names); everything else must obey it.
@@ -42,6 +43,22 @@ var obsRegisterMethods = map[string]bool{
 	"NewHistogram":   true,
 }
 
+// faultSiteRx mirrors internal/fault's site-name grammar: a dotted
+// layer.site path. Failpoint names are the chaos suite's external
+// API — docs/ROBUSTNESS.md catalogues them and operators pass them
+// to -failpoints — so like metric names they must be greppable
+// literals, not assembled strings.
+var faultSiteRx = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-zA-Z][a-zA-Z0-9]*)+$`)
+
+// faultSiteFuncs are the internal/fault functions whose first
+// argument names a failpoint site.
+var faultSiteFuncs = map[string]bool{
+	"Inject":    true,
+	"Enable":    true,
+	"Disable":   true,
+	"Triggered": true,
+}
+
 func runObsNames(pass *Pass) error {
 	// Registered names accumulate across the whole package: two files
 	// registering the same family is exactly the boot-time panic this
@@ -54,6 +71,7 @@ func runObsNames(pass *Pass) error {
 				return true
 			}
 			checkObsRegistration(pass, call, seen)
+			checkFaultSite(pass, call)
 			return true
 		})
 		for _, decl := range f.Decls {
@@ -106,6 +124,29 @@ func checkObsRegistration(pass *Pass, call *ast.CallExpr, seen map[string]bool) 
 		return
 	}
 	seen[name] = true
+}
+
+// checkFaultSite flags non-literal or malformed failpoint names at
+// internal/fault call sites.
+func checkFaultSite(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !faultSiteFuncs[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "charles/internal/fault" {
+		return
+	}
+	name, ok := stringLiteral(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"failpoint name passed to fault.%s must be a string literal: sites are a greppable chaos API", sel.Sel.Name)
+		return
+	}
+	if !faultSiteRx.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"failpoint name %q must be a dotted layer.site path like \"colfile.readPage\"", name)
+	}
 }
 
 // stringLiteral resolves e to a compile-time string constant — a

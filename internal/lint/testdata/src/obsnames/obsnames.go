@@ -8,6 +8,7 @@ package obsnames
 import (
 	"time"
 
+	"charles/internal/fault"
 	"charles/internal/obs"
 )
 
@@ -47,4 +48,22 @@ func spans(tr *obs.Trace) {
 	_ = tr.Start("blank") // want "span result discarded"
 
 	tr.Observe("pre_measured", time.Millisecond) // Observe is not Start: nothing to pair
+}
+
+const goodSite = "layer.namedSite"
+
+func failpoints(dynamic string) error {
+	if err := fault.Inject("colfile.readPage"); err != nil {
+		return err
+	}
+	if err := fault.Inject(goodSite); err != nil { // named constants stay greppable
+		return err
+	}
+	_ = fault.Inject(dynamic)            // want "must be a string literal"
+	_ = fault.Inject("nodots")           // want "dotted layer.site path"
+	_ = fault.Inject("Upper.site")       // want "dotted layer.site path"
+	_ = fault.Enable("x", "error(boom)") // want "dotted layer.site path"
+	_ = fault.Triggered("jobs.run")
+	fault.Configure(dynamic) // Configure takes a whole spec list, not a site name
+	return nil
 }

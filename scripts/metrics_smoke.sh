@@ -41,7 +41,7 @@ if [ -n "$ID" ]; then
         STATE=$(curl -fsS "$BASE/jobs/$ID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
         case "$STATE" in
         done) break ;;
-        failed | cancelled)
+        failed | cancelled | timed_out)
             echo "metrics-smoke: advise job ended $STATE" >&2
             exit 1
             ;;
@@ -74,7 +74,11 @@ for fam in \
     charles_jobs_run_seconds \
     charles_http_requests_total \
     charles_advises_total \
-    charles_result_cache_hits_total; do
+    charles_result_cache_hits_total \
+    charles_panics_recovered_total \
+    charles_http_over_quota_total \
+    charles_http_queue_full_total \
+    charles_http_body_too_large_total; do
     printf '%s\n' "$METRICS" | grep -q "^# TYPE $fam " || {
         echo "metrics-smoke: family $fam missing from /metrics" >&2
         exit 1
